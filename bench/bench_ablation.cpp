@@ -1,0 +1,200 @@
+// Ablations of the engine design choices the paper calls out (§2.2
+// "Performance considerations" and §2.4):
+//
+//  (1) zero copying — "Such performance is simply not achievable if ...
+//      zero message copying is not enforced": the same 3-node relay chain
+//      run with the stock zero-copy relay vs. a relay that deep-copies
+//      every payload at every hop;
+//  (2) buffer capacity — how receiver/sender buffer depth trades
+//      end-to-end latency (Fig 6's prompt back-pressure) against
+//      throughput smoothing, on the deterministic substrate;
+//  (3) switching granularity — the sim engine's per-event byte budget
+//      (its model of finite switching capacity) vs. delivered goodput.
+#include <memory>
+
+#include "algorithm/relay.h"
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "engine/engine.h"
+#include "sim/sim_net.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kPayload = 5000;
+
+// A relay that defeats the engine's zero-copy design: every forwarded
+// message gets a fresh deep-copied payload.
+class DeepCopyRelay : public RelayAlgorithm {
+ protected:
+  Disposition on_data(const MsgPtr& m) override {
+    // deliver_local is a no-op unless this node registered the app.
+    engine().deliver_local(m);
+    for (const auto& child : children(m->app())) {
+      auto copy = m->clone_with_payload(
+          Buffer::copy(m->payload()->data(), m->payload_size()));
+      engine().send(copy, child);
+    }
+    return Disposition::kDone;
+  }
+};
+
+double run_real_chain(bool zero_copy, int n) {
+  std::vector<std::unique_ptr<engine::Engine>> engines;
+  std::vector<RelayAlgorithm*> relays;
+  auto sink = std::make_shared<apps::SinkApp>();
+  for (int i = 0; i < n; ++i) {
+    std::unique_ptr<RelayAlgorithm> algorithm;
+    if (zero_copy) {
+      algorithm = std::make_unique<RelayAlgorithm>();
+    } else {
+      algorithm = std::make_unique<DeepCopyRelay>();
+    }
+    relays.push_back(algorithm.get());
+    auto node = std::make_unique<engine::Engine>(engine::EngineConfig{},
+                                                 std::move(algorithm));
+    if (i == 0) {
+      node->register_app(kApp,
+                         std::make_shared<apps::BackToBackSource>(kPayload));
+    }
+    if (i == n - 1) node->register_app(kApp, sink);
+    if (!node->start()) std::exit(1);
+    engines.push_back(std::move(node));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    relays[i]->add_child(kApp, engines[i + 1]->self());
+  }
+  relays[n - 1]->set_consume(kApp, true);
+  engines[0]->deploy_source(kApp);
+
+  sleep_for(millis(400));
+  const TimePoint t0 = RealClock::instance().now();
+  const u64 bytes0 = sink->stats(t0).bytes;
+  sleep_for(millis(1500));
+  const TimePoint t1 = RealClock::instance().now();
+  const u64 bytes1 = sink->stats(t1).bytes;
+  engines[0]->terminate_source(kApp);
+  for (auto& node : engines) node->stop();
+  for (auto& node : engines) node->join();
+  return static_cast<double>(bytes1 - bytes0) / to_seconds(t1 - t0);
+}
+
+// Virtual-time convergence of Fig 6-style back-pressure for a given
+// buffer depth: how long until the source link settles near the
+// downstream bottleneck rate.
+struct BufferResult {
+  double source_rate;   // source-link rate over the last window
+  double sink_goodput;  // delivered at the sink over the whole run
+};
+
+BufferResult run_buffer_depth(std::size_t depth) {
+  sim::SimNet net;
+  sim::SimNodeConfig config;
+  config.recv_buffer_msgs = depth;
+  config.send_buffer_msgs = depth;
+  struct N {
+    sim::SimEngine* engine;
+    RelayAlgorithm* relay;
+  };
+  const auto add = [&] {
+    auto algorithm = std::make_unique<RelayAlgorithm>();
+    N n{nullptr, algorithm.get()};
+    n.engine = &net.add_node(std::move(algorithm), config);
+    return n;
+  };
+  N a = add(), b = add(), c = add();
+  auto sink = std::make_shared<apps::SinkApp>();
+  a.engine->register_app(kApp,
+                         std::make_shared<apps::BackToBackSource>(kPayload));
+  c.engine->register_app(kApp, sink);
+  a.engine->bandwidth().set_node_up(400e3);
+  b.engine->bandwidth().set_node_up(30e3);  // the bottleneck
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->add_child(kApp, c.engine->self());
+  c.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+
+  constexpr double kRun = 30.0;
+  net.run_for(seconds(kRun - 10.0));
+  const u64 ab0 = net.link_delivered_bytes(a.engine->self(), b.engine->self());
+  net.run_for(seconds(10.0));
+  BufferResult result;
+  result.source_rate =
+      static_cast<double>(net.link_delivered_bytes(a.engine->self(),
+                                                   b.engine->self()) -
+                          ab0) /
+      10.0;
+  result.sink_goodput = static_cast<double>(sink->stats(0).bytes) / kRun;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Ablation 1: zero-copy forwarding vs deep copy per hop (3 real "
+      "engines, loopback, back-to-back 5 KB messages)",
+      "§2.4: the paper attributes its raw switching rate to enforcing "
+      "zero message copying");
+  const double zero_copy = run_real_chain(true, 3);
+  const double deep_copy = run_real_chain(false, 3);
+  print_row({"relay", "end-to-end MB/s"});
+  print_row({"zero-copy (stock)", mb(zero_copy)});
+  print_row({"deep-copy per hop", mb(deep_copy)});
+  print_row({"ratio", strf("%.2fx", zero_copy / deep_copy)});
+  std::printf(
+      "\nnote: on 2004 hardware payload copies competed with the switch for\n"
+      "memory bandwidth, hence the paper's emphasis; on modern hosts a 5 KB\n"
+      "memcpy is cheap next to the syscall path, so the measured gap is\n"
+      "small — the zero-copy design's remaining value is allocation\n"
+      "pressure and cache footprint at high fan-out.\n");
+
+  print_header(
+      "Ablation 2: buffer depth vs back-pressure (simulated 3-node chain, "
+      "30 KB/s bottleneck at the relay, 30 s run)",
+      "small buffers throttle the source to the bottleneck rate quickly "
+      "(Fig 6); deep buffers defer it (Fig 7)");
+  print_row({"buffer msgs", "source-link KB/s", "sink KB/s"});
+  for (const std::size_t depth : {2u, 5u, 10u, 100u, 1000u, 10000u}) {
+    const BufferResult r = run_buffer_depth(depth);
+    print_row({strf("%zu", depth), kb(r.source_rate), kb(r.sink_goodput)});
+  }
+
+  print_header(
+      "Ablation 3: simulator switching-capacity model (default link rate) "
+      "vs chain goodput (8-node simulated chain, no caps)",
+      "the per-event byte budget bounds how fast the simulated engines "
+      "switch; goodput should track it");
+  print_row({"switch capacity MB/s", "sink MB/s"});
+  for (const double rate : {5e6, 20e6, 50e6, 200e6}) {
+    sim::SimNet::Config net_config;
+    net_config.default_link_rate = rate;
+    sim::SimNet net(net_config);
+    std::vector<sim::SimEngine*> engines;
+    std::vector<RelayAlgorithm*> relays;
+    auto sink = std::make_shared<apps::SinkApp>();
+    for (int i = 0; i < 8; ++i) {
+      auto algorithm = std::make_unique<RelayAlgorithm>();
+      relays.push_back(algorithm.get());
+      engines.push_back(&net.add_node(std::move(algorithm),
+                                      sim::SimNodeConfig{}));
+    }
+    engines[0]->register_app(
+        kApp, std::make_shared<apps::BackToBackSource>(kPayload));
+    engines[7]->register_app(kApp, sink);
+    for (int i = 0; i < 7; ++i) {
+      relays[static_cast<std::size_t>(i)]->add_child(
+          kApp, engines[static_cast<std::size_t>(i) + 1]->self());
+    }
+    relays[7]->set_consume(kApp, true);
+    net.deploy(engines[0]->self(), kApp);
+    net.run_for(seconds(5.0));
+    print_row({mb(rate), mb(static_cast<double>(sink->stats(0).bytes) / 5.0)});
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 5 — raw performance of the iOverlay engine.
+//
+// Virtualized nodes on one host form a chain; a back-to-back source at
+// one end pushes 5 KB messages as fast as possible to the other end.
+// Reported per chain length: end-to-end throughput and total bandwidth
+// (throughput x number of links), i.e. the volume of messages the
+// engines switched concurrently. The paper (dual P-III 1 GHz, Linux 2.4)
+// saw 48.4 MB/s for 2 nodes falling to 424 KB/s at 32 nodes, with a
+// one-switch overhead of ~3.3% at 3 nodes; absolute numbers here differ
+// with hardware, but the 1/(n-1)-style decay and the small 3-node
+// overhead are the reproduced shape.
+#include <memory>
+#include <vector>
+
+#include "algorithm/relay.h"
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace iov;          // NOLINT
+using namespace iov::bench;   // NOLINT
+using engine::Engine;
+using engine::EngineConfig;
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kPayload = 5000;  // the paper's 5 KB messages
+constexpr Duration kWarmup = millis(400);
+constexpr Duration kMeasure = millis(1200);
+
+struct ChainResult {
+  double end_to_end = 0.0;  // bytes/s
+  double total = 0.0;       // bytes/s across all links
+};
+
+ChainResult run_chain(int n) {
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<RelayAlgorithm*> relays;
+  auto sink = std::make_shared<apps::SinkApp>();
+
+  for (int i = 0; i < n; ++i) {
+    auto algorithm = std::make_unique<RelayAlgorithm>();
+    relays.push_back(algorithm.get());
+    EngineConfig config;
+    config.recv_buffer_msgs = 10;
+    config.send_buffer_msgs = 10;
+    auto engine = std::make_unique<Engine>(config, std::move(algorithm));
+    if (i == 0) {
+      engine->register_app(kApp,
+                           std::make_shared<apps::BackToBackSource>(kPayload));
+    }
+    if (i == n - 1) engine->register_app(kApp, sink);
+    if (!engine->start()) {
+      std::fprintf(stderr, "failed to start engine %d\n", i);
+      std::exit(1);
+    }
+    engines.push_back(std::move(engine));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    relays[i]->add_child(kApp, engines[i + 1]->self());
+  }
+  relays[n - 1]->set_consume(kApp, true);
+  engines[0]->deploy_source(kApp);
+
+  sleep_for(kWarmup);
+  const TimePoint t0 = RealClock::instance().now();
+  const u64 bytes0 = sink->stats(t0).bytes;
+  sleep_for(kMeasure);
+  const TimePoint t1 = RealClock::instance().now();
+  const u64 bytes1 = sink->stats(t1).bytes;
+
+  engines[0]->terminate_source(kApp);
+  for (auto& engine : engines) engine->stop();
+  for (auto& engine : engines) engine->join();
+
+  ChainResult result;
+  result.end_to_end =
+      static_cast<double>(bytes1 - bytes0) / to_seconds(t1 - t0);
+  result.total = result.end_to_end * static_cast<double>(n - 1);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig 5: raw engine performance (chain of virtualized nodes, "
+      "back-to-back 5 KB messages over loopback TCP)",
+      "2-node total 48.4 MB/s; 3-node 46.8 MB/s (one-switch overhead "
+      "~3.3%); throughput decays ~1/(n-1); 32-node end-to-end still "
+      "exceeds typical wide-area rates");
+
+  print_row({"nodes", "end-to-end MB/s", "total MB/s", "vs 2-node e2e"});
+  double two_node_e2e = 0.0;
+  for (const int n : {2, 3, 4, 5, 6, 8, 12, 16, 32}) {
+    const ChainResult r = run_chain(n);
+    if (n == 2) two_node_e2e = r.end_to_end;
+    print_row({strf("%d", n), mb(r.end_to_end), mb(r.total),
+               strf("%.1f%%", r.end_to_end / two_node_e2e * 100.0)});
+  }
+  std::printf(
+      "\nnote: absolute rates depend on host CPU. The reproduced shape is\n"
+      "the monotone end-to-end decay as threads multiply. Unlike the\n"
+      "paper's dual-P-III (saturated already at 2 nodes, so total\n"
+      "bandwidth stayed ~flat at ~48 MB/s), this host's 2-node case is\n"
+      "not CPU-bound: total bandwidth first *grows* with link-level\n"
+      "pipelining, then the paper's context-switch decay takes over.\n");
+  return 0;
+}

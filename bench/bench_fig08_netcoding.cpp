@@ -1,0 +1,116 @@
+// Fig. 8 — the network-coding case study (§3.2) on the deterministic
+// simulator: the seven-node butterfly-style topology with source A
+// (400 KB/s) splitting streams a/b via helpers B and C, and node D's
+// 200 KB/s uplink as the bottleneck.
+//
+//  (a) without coding, D forwards plain blocks: D receives the full
+//      400 KB/s but F and G top out at ~300 KB/s each;
+//  (b) with a+b coding in GF(2^8) at D, F and G decode both streams and
+//      reach ~400 KB/s effective throughput; B, C and E are helpers.
+#include <memory>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "bench_util.h"
+#include "coding/coding_algorithm.h"
+#include "sim/sim_net.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+using coding::CodingAlgorithm;
+using sim::SimEngine;
+using sim::SimNet;
+using sim::SimNodeConfig;
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kPayload = 5000;
+constexpr double kRun = 20.0;
+
+struct NodeRates {
+  double d = 0, e = 0, f = 0, g = 0;
+};
+
+NodeRates run_butterfly(bool code_at_d) {
+  SimNet net;
+  SimNodeConfig big;
+  big.recv_buffer_msgs = 10000;
+  big.send_buffer_msgs = 10000;
+
+  struct N {
+    SimEngine* engine;
+    CodingAlgorithm* alg;
+  };
+  const auto add = [&]() {
+    auto algorithm = std::make_unique<CodingAlgorithm>();
+    N n{nullptr, algorithm.get()};
+    n.engine = &net.add_node(std::move(algorithm), big);
+    return n;
+  };
+  N a = add(), b = add(), c = add(), d = add(), e = add(), f = add(),
+    g = add();
+
+  a.engine->register_app(kApp,
+                         std::make_shared<apps::BackToBackSource>(kPayload));
+  auto sink_d = std::make_shared<apps::SinkApp>();
+  auto sink_f = std::make_shared<apps::SinkApp>();
+  auto sink_g = std::make_shared<apps::SinkApp>();
+  d.engine->register_app(kApp, sink_d);
+  f.engine->register_app(kApp, sink_f);
+  g.engine->register_app(kApp, sink_g);
+
+  a.engine->bandwidth().set_node_up(400e3);
+  d.engine->bandwidth().set_node_up(200e3);
+
+  a.alg->set_source_split(kApp, {b.engine->self(), c.engine->self()});
+  b.alg->add_relay(kApp, d.engine->self());
+  b.alg->add_relay(kApp, f.engine->self());
+  c.alg->add_relay(kApp, d.engine->self());
+  c.alg->add_relay(kApp, g.engine->self());
+  if (code_at_d) {
+    d.alg->set_coder(kApp, 2, {1, 1}, {e.engine->self()});
+  } else {
+    d.alg->add_relay(kApp, e.engine->self());
+  }
+  d.alg->set_decoder(kApp, 2, kPayload);
+  e.alg->add_relay(kApp, f.engine->self());
+  e.alg->add_relay(kApp, g.engine->self());
+  f.alg->set_decoder(kApp, 2, kPayload);
+  g.alg->set_decoder(kApp, 2, kPayload);
+
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(kRun));
+
+  // "Effective throughput": distinct application data delivered locally.
+  NodeRates rates;
+  rates.d = static_cast<double>(sink_d->stats(0).bytes) / kRun;
+  rates.f = static_cast<double>(sink_f->stats(0).bytes) / kRun;
+  rates.g = static_cast<double>(sink_g->stats(0).bytes) / kRun;
+  rates.e = net.link_rate(d.engine->self(), e.engine->self());
+  return rates;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig 8: network coding on the butterfly (simulated substrate, "
+      "GF(2^8) a+b at node D, D uplink 200 KB/s, source 400 KB/s)",
+      "(a) without coding: D=400, F=G=~300 KB/s; (b) with coding: "
+      "D=F=G=~400 KB/s at the cost of E becoming a helper");
+
+  const NodeRates plain = run_butterfly(false);
+  const NodeRates coded = run_butterfly(true);
+
+  print_row({"node", "no coding KB/s", "a+b coding KB/s", "paper (a)",
+             "paper (b)"});
+  print_row({"D", kb(plain.d), kb(coded.d), "400", "400"});
+  print_row({"F", kb(plain.f), kb(coded.f), "300", "400"});
+  print_row({"G", kb(plain.g), kb(coded.g), "300", "400"});
+  std::printf(
+      "\ntrade-off: with coding, E relays only the coded stream "
+      "(measured DE link: %s KB/s) and becomes a helper alongside B, C.\n",
+      kb(coded.e).c_str());
+  return 0;
+}

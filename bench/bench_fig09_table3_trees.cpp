@@ -1,0 +1,91 @@
+// Fig. 9 + Table 3 — the five-node tree-construction comparison (§3.3):
+// source S (200 KB/s) and receivers joining in the order D, A, C, B with
+// last-mile bandwidths D=100, A=500, C=200, B=100 KB/s, under the
+// all-unicast, randomized, and node-stress-aware algorithms.
+//
+// Reported, per algorithm: per-receiver end-to-end throughput (Fig 9),
+// node degree and node stress (Table 3), and the resulting tree.
+#include <map>
+
+#include "bench_util.h"
+#include "trees/scenario.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+using namespace iov::trees;  // NOLINT
+
+TreeExperimentResult run(TreeStrategy strategy) {
+  TreeExperimentConfig config;
+  config.strategy = strategy;
+  config.seed = 4;
+  config.source_bandwidth = 200e3;
+  // Join order D, A, C, B (paper Fig 9), with the paper's bandwidths.
+  config.receiver_bandwidth = {100e3, 500e3, 200e3, 100e3};
+  config.join_spacing = seconds(2.0);
+  config.settle = seconds(3.0);
+  config.measure = seconds(15.0);
+  return run_tree_experiment(config);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig 9 / Table 3: tree construction on five nodes (simulated "
+      "substrate; S=200, joins D=100, A=500, C=200, B=100 KB/s)",
+      "unicast: every receiver ~50 KB/s, S stress 2.0; randomized: "
+      "uneven, some ~50 some ~100; ns-aware: ~100 KB/s everywhere, "
+      "S stress 1.0 and load pushed to high-bandwidth A");
+
+  static const char* kNames[] = {"S", "D", "A", "C", "B"};
+  std::map<TreeStrategy, TreeExperimentResult> results;
+  for (const auto strategy :
+       {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+        TreeStrategy::kNsAware}) {
+    results.emplace(strategy, run(strategy));
+  }
+
+  std::printf("\n-- Fig 9: per-receiver end-to-end throughput (KB/s) --\n");
+  print_row({"node", "last-mile", "unicast", "random", "ns-aware"}, 12);
+  for (std::size_t i = 1; i < 5; ++i) {
+    std::vector<std::string> row{
+        kNames[i],
+        kb(results.begin()->second.nodes[i].last_mile)};
+    for (const auto strategy :
+         {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+          TreeStrategy::kNsAware}) {
+      row.push_back(kb(results.at(strategy).nodes[i].goodput));
+    }
+    print_row(row, 12);
+  }
+
+  std::printf("\n-- Table 3: node degree --\n");
+  print_row({"node", "unicast", "random", "ns-aware"}, 12);
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<std::string> row{kNames[i]};
+    for (const auto strategy :
+         {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+          TreeStrategy::kNsAware}) {
+      row.push_back(strf("%zu", results.at(strategy).nodes[i].degree));
+    }
+    print_row(row, 12);
+  }
+
+  std::printf("\n-- Table 3: node stress (1/100 KB/s) --\n");
+  print_row({"node", "unicast", "random", "ns-aware"}, 12);
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<std::string> row{kNames[i]};
+    for (const auto strategy :
+         {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+          TreeStrategy::kNsAware}) {
+      row.push_back(strf("%.2f", results.at(strategy).nodes[i].stress));
+    }
+    print_row(row, 12);
+  }
+
+  std::printf("\n-- ns-aware tree (Fig 9(g) analogue, graphviz) --\n%s",
+              results.at(TreeStrategy::kNsAware).dot.c_str());
+  return 0;
+}

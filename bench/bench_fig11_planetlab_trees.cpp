@@ -1,0 +1,95 @@
+// Figs. 10-13 — the wide-area (PlanetLab-scale) tree-construction
+// experiment on the simulated substrate: 81 nodes, per-node last-mile
+// bandwidth uniform in [50, 200] KB/s, source at 100 KB/s, under the
+// three algorithms.
+//
+//  Fig 11(a): end-to-end throughput per receiver (summarized and as a
+//             sorted series);
+//  Fig 11(b): cumulative distribution of node stress vs the ideal
+//             (vertical line at the source-rate stress);
+//  Fig 12:    a 10-node ns-aware topology (graphviz);
+//  Fig 13:    the 81-node ns-aware topology (graphviz).
+#include "bench_util.h"
+#include "common/rng.h"
+#include "trees/scenario.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+using namespace iov::trees;  // NOLINT
+
+constexpr std::size_t kReceivers = 80;  // 81 nodes including the source
+
+TreeExperimentConfig planetlab_config(TreeStrategy strategy,
+                                      std::size_t receivers) {
+  TreeExperimentConfig config;
+  config.strategy = strategy;
+  config.seed = 1904;  // MIDDLEWARE 2004
+  config.source_bandwidth = 100e3;
+  Rng rng(42);
+  for (std::size_t i = 0; i < receivers; ++i) {
+    // "per-node available bandwidth ... uniform distribution of 50 to
+    // 200 KBps" (§3.3).
+    config.receiver_bandwidth.push_back(rng.uniform(50e3, 200e3));
+  }
+  config.join_spacing = millis(600);
+  config.settle = seconds(5.0);
+  config.measure = seconds(15.0);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig 10-13: tree construction with 81 wide-area nodes (simulated "
+      "PlanetLab: last mile U(50,200) KB/s, source 100 KB/s)",
+      "ns-aware: stress CDF hugs the ideal and end-to-end throughput far "
+      "above unicast/random; unicast concentrates stress at the source");
+
+  std::printf("\n-- Fig 11(a): end-to-end throughput per receiver --\n");
+  print_row({"algorithm", "mean KB/s", "min KB/s", "max KB/s", "attached"});
+  EmpiricalCdf stress_cdfs[3];
+  std::string dot81;
+  int idx = 0;
+  for (const auto strategy :
+       {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+        TreeStrategy::kNsAware}) {
+    const auto result =
+        run_tree_experiment(planetlab_config(strategy, kReceivers));
+    RunningStats goodput;
+    for (const auto* r : result.receivers()) {
+      if (r->in_tree) goodput.add(r->goodput);
+      stress_cdfs[idx].add(r->stress);
+    }
+    stress_cdfs[idx].add(result.source().stress);
+    print_row({strategy_name(strategy), kb(goodput.mean()),
+               kb(goodput.min()), kb(goodput.max()),
+               strf("%.0f%%", result.attach_rate() * 100.0)});
+    if (strategy == TreeStrategy::kNsAware) dot81 = result.dot;
+    ++idx;
+  }
+
+  std::printf(
+      "\n-- Fig 11(b): cumulative distribution of node stress "
+      "(1/100 KB/s) --\n");
+  print_row({"stress <=", "unicast", "random", "ns-aware"}, 12);
+  for (const double x : {1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    print_row({strf("%.0f", x), strf("%.2f", stress_cdfs[0].at(x)),
+               strf("%.2f", stress_cdfs[1].at(x)),
+               strf("%.2f", stress_cdfs[2].at(x))},
+              12);
+  }
+  std::printf(
+      "(the ideal case is a step at the source's stress; ns-aware should "
+      "be the closest curve)\n");
+
+  std::printf("\n-- Fig 12: 10-node ns-aware topology --\n");
+  const auto small =
+      run_tree_experiment(planetlab_config(TreeStrategy::kNsAware, 9));
+  std::printf("%s", small.dot.c_str());
+
+  std::printf("\n-- Fig 13: 81-node ns-aware topology --\n%s", dot81.c_str());
+  return 0;
+}

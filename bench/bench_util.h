@@ -1,0 +1,39 @@
+// Shared helpers for the figure/table reproduction harnesses: consistent
+// headers and aligned table printing, so every bench prints rows in the
+// shape the paper reports (see EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace iov::bench {
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf(
+      "\n==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf(
+      "==============================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      std::size_t width = 16) {
+  std::printf("%s\n", format_row(cells, width).c_str());
+}
+
+/// Bytes/second rendered as "N.N" kilobytes/second.
+inline std::string kb(double bytes_per_sec) {
+  return strf("%.1f", bytes_per_sec / 1000.0);
+}
+
+/// Bytes/second rendered as "N.NN" megabytes/second.
+inline std::string mb(double bytes_per_sec) {
+  return strf("%.2f", bytes_per_sec / 1e6);
+}
+
+}  // namespace iov::bench

@@ -1,0 +1,49 @@
+// Service federation in a service overlay network (§3.4) as a runnable
+// demo: twelve simulated wide-area nodes host services from a six-type
+// universe; one DAG requirement is federated with sFlow and a live data
+// stream is pushed through the selected instances.
+//
+//   $ ./federation_demo
+#include <cstdio>
+
+#include "federation/scenario.h"
+
+namespace {
+using namespace iov;              // NOLINT
+using namespace iov::federation;  // NOLINT
+}  // namespace
+
+int main() {
+  FederationScenarioConfig config;
+  config.strategy = FederationStrategy::kSFlow;
+  config.nodes = 12;
+  config.universe_types = 6;
+  config.seed = 2026;
+  config.requests = 1;
+  config.requirement_length = 5;
+  config.allow_branches = true;
+  config.tail = seconds(20.0);
+
+  std::printf(
+      "federating one complex service across 12 nodes (types 1..6, "
+      "sFlow)...\n\n");
+  const auto result = run_federation_scenario(config);
+  if (result.requests.empty() || !result.requests[0].ok) {
+    std::printf("federation failed\n");
+    return 1;
+  }
+  const auto& r = result.requests[0];
+  std::printf("selected instances:\n");
+  for (const auto& [type, id] : r.mapping) {
+    std::printf("  service type %u -> %s\n", type, id.to_string().c_str());
+  }
+  std::printf("\nlive session measurements over ~20 s:\n");
+  std::printf("  end-to-end goodput : %.1f KB/s\n", r.goodput / 1000.0);
+  std::printf("  mean data delay    : %.1f ms\n", r.mean_delay_ms);
+  std::printf("\ncontrol overhead of the whole run:\n");
+  std::printf("  sAware    : %llu bytes\n",
+              static_cast<unsigned long long>(result.aware_bytes));
+  std::printf("  sFederate : %llu bytes (incl. acks and path installs)\n",
+              static_cast<unsigned long long>(result.federate_bytes));
+  return 0;
+}

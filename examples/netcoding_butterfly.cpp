@@ -1,0 +1,85 @@
+// Network coding on overlay nodes (§3.2) as a runnable demo: builds the
+// butterfly topology on the deterministic simulator and shows the
+// throughput gain of GF(2^8) coding at the bottleneck node.
+//
+//   $ ./netcoding_butterfly
+#include <cstdio>
+#include <memory>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "coding/coding_algorithm.h"
+#include "sim/sim_net.h"
+
+namespace {
+using namespace iov;  // NOLINT
+using coding::CodingAlgorithm;
+constexpr u32 kApp = 1;
+constexpr std::size_t kPayload = 5000;
+}  // namespace
+
+int main() {
+  for (const bool with_coding : {false, true}) {
+    sim::SimNet net;
+    sim::SimNodeConfig big;
+    big.recv_buffer_msgs = 10000;
+    big.send_buffer_msgs = 10000;
+
+    struct N {
+      sim::SimEngine* engine;
+      CodingAlgorithm* alg;
+    };
+    const auto add = [&] {
+      auto algorithm = std::make_unique<CodingAlgorithm>();
+      N n{nullptr, algorithm.get()};
+      n.engine = &net.add_node(std::move(algorithm), big);
+      return n;
+    };
+    N a = add(), b = add(), c = add(), d = add(), e = add(), f = add(),
+      g = add();
+
+    a.engine->register_app(kApp,
+                           std::make_shared<apps::BackToBackSource>(kPayload));
+    auto sink_f = std::make_shared<apps::SinkApp>(kPayload);
+    auto sink_g = std::make_shared<apps::SinkApp>(kPayload);
+    f.engine->register_app(kApp, sink_f);
+    g.engine->register_app(kApp, sink_g);
+
+    a.engine->bandwidth().set_node_up(400e3);
+    d.engine->bandwidth().set_node_up(200e3);
+
+    a.alg->set_source_split(kApp, {b.engine->self(), c.engine->self()});
+    b.alg->add_relay(kApp, d.engine->self());
+    b.alg->add_relay(kApp, f.engine->self());
+    c.alg->add_relay(kApp, d.engine->self());
+    c.alg->add_relay(kApp, g.engine->self());
+    if (with_coding) {
+      d.alg->set_coder(kApp, 2, /*coeffs=*/{1, 1}, {e.engine->self()});
+    } else {
+      d.alg->add_relay(kApp, e.engine->self());
+    }
+    e.alg->add_relay(kApp, f.engine->self());
+    e.alg->add_relay(kApp, g.engine->self());
+    f.alg->set_decoder(kApp, 2, kPayload);
+    g.alg->set_decoder(kApp, 2, kPayload);
+
+    net.deploy(a.engine->self(), kApp);
+    net.run_for(seconds(10.0));
+
+    const auto f_stats = sink_f->stats(net.now());
+    const auto g_stats = sink_g->stats(net.now());
+    std::printf("%s coding at D:\n", with_coding ? "WITH a+b" : "without");
+    std::printf("  F: %6.1f KB/s effective (%llu msgs, %llu corrupt)\n",
+                static_cast<double>(f_stats.bytes) / 10.0 / 1000.0,
+                static_cast<unsigned long long>(f_stats.msgs),
+                static_cast<unsigned long long>(f_stats.corrupt));
+    std::printf("  G: %6.1f KB/s effective (%llu msgs, %llu corrupt)\n\n",
+                static_cast<double>(g_stats.bytes) / 10.0 / 1000.0,
+                static_cast<unsigned long long>(g_stats.msgs),
+                static_cast<unsigned long long>(g_stats.corrupt));
+  }
+  std::printf(
+      "the bottleneck (D's 200 KB/s uplink) carries a+b instead of half of\n"
+      "each stream, so both receivers decode the full 400 KB/s session.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Delay-sensitive media streaming over iOverlay (the §4 MPEG-4 claim as
+// a runnable demo): a GOP-structured 25 fps stream crosses a relay whose
+// uplink the "operator" throttles mid-session; playout continuity at the
+// receiver tells the story.
+//
+//   $ ./streaming_demo
+#include <cstdio>
+#include <memory>
+
+#include "algorithm/relay.h"
+#include "apps/streaming.h"
+#include "sim/sim_net.h"
+
+namespace {
+using namespace iov;  // NOLINT
+constexpr u32 kApp = 1;
+}  // namespace
+
+int main() {
+  sim::SimNet net;
+  auto alg_a = std::make_unique<RelayAlgorithm>();
+  auto alg_b = std::make_unique<RelayAlgorithm>();
+  auto alg_c = std::make_unique<RelayAlgorithm>();
+  auto* relay_a = alg_a.get();
+  auto* relay_b = alg_b.get();
+  auto* relay_c = alg_c.get();
+  sim::SimNodeConfig small;  // strict latency => small buffers (§2.4)
+  small.recv_buffer_msgs = 5;
+  small.send_buffer_msgs = 5;
+  auto& a = net.add_node(std::move(alg_a), small);
+  auto& b = net.add_node(std::move(alg_b), small);
+  auto& c = net.add_node(std::move(alg_c), small);
+
+  auto source = std::make_shared<apps::VideoSource>(
+      25.0, /*gop=*/10, /*iframe=*/20000, /*pframe=*/6000);
+  auto sink = std::make_shared<apps::PlayoutSink>(25.0, millis(500));
+  a.register_app(kApp, source);
+  c.register_app(kApp, sink);
+  relay_a->add_child(kApp, b.self());
+  relay_b->add_child(kApp, c.self());
+  relay_c->set_consume(kApp, true);
+
+  std::printf("streaming %.0f KB/s video through relay %s...\n",
+              source->mean_bitrate() / 1000.0, b.self().to_string().c_str());
+  net.deploy(a.self(), kApp);
+
+  const auto report = [&](const char* phase) {
+    const auto s = sink->stats(net.now());
+    std::printf(
+        "%-34s on-time %5.1f%%  late %llu  missing %llu  delay %.0f ms\n",
+        phase, s.on_time_ratio(net.now()) * 100.0,
+        static_cast<unsigned long long>(s.late),
+        static_cast<unsigned long long>(s.missing(net.now())),
+        s.mean_delay_ms);
+  };
+
+  net.run_for(seconds(10.0));
+  report("clean path, 10 s:");
+
+  b.bandwidth().set_node_up(100e3);  // below the ~194 KB/s bitrate
+  net.run_for(seconds(10.0));
+  report("relay capped to 100 KB/s, +10 s:");
+
+  b.bandwidth().set_node_up(0);  // bottleneck relieved
+  net.run_for(seconds(10.0));
+  report("bottleneck relieved, +10 s:");
+
+  std::printf(
+      "\n(the on-time ratio collapses while the relay cannot carry the\n"
+      "bitrate and stops degrading once the operator lifts the cap —\n"
+      "frames lost to the congested period are gone for good, as a\n"
+      "delay-sensitive application would experience.)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Node-stress-aware dissemination trees (§3.3) as a runnable demo:
+// receivers join a session one by one and the tree is printed after
+// every join — the analogue of the paper's Fig 9(d)-(g) walkthrough.
+//
+//   $ ./tree_join [receivers]        (default 8)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "common/rng.h"
+#include "sim/sim_net.h"
+#include "trees/tree_algorithm.h"
+
+namespace {
+using namespace iov;         // NOLINT
+using namespace iov::trees;  // NOLINT
+constexpr u32 kApp = 1;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int receivers = argc > 1 ? std::max(1, std::atoi(argv[1])) : 8;
+
+  sim::SimNet net;
+  Rng rng(7);
+  struct Member {
+    sim::SimEngine* engine;
+    TreeAlgorithm* alg;
+    double bw;
+  };
+  std::vector<Member> members;
+  const auto add = [&](double bw) {
+    auto algorithm =
+        std::make_unique<TreeAlgorithm>(TreeStrategy::kNsAware, bw);
+    Member m{nullptr, algorithm.get(), bw};
+    sim::SimNodeConfig config;
+    config.bandwidth.node_up = bw;
+    m.engine = &net.add_node(std::move(algorithm), config);
+    return m;
+  };
+
+  members.push_back(add(100e3));  // the source, 100 KB/s last mile
+  Member& source = members.front();
+  source.engine->register_app(
+      kApp, std::make_shared<apps::CbrSource>(1000, 100e3));
+  members.reserve(receivers + 1);
+  for (int i = 0; i < receivers; ++i) {
+    members.push_back(add(rng.uniform(50e3, 200e3)));
+    members.back().engine->register_app(kApp,
+                                        std::make_shared<apps::SinkApp>());
+  }
+  for (const auto& m : members) net.bootstrap(m.engine->self(), 8);
+  const std::string announce = members[0].engine->self().to_string();
+  for (const auto& m : members) {
+    net.post(m.engine->self(),
+             Msg::control(MsgType::kSAnnounce, NodeId(), kControlApp,
+                          static_cast<i32>(kApp), 0, announce));
+  }
+  net.deploy(members[0].engine->self(), kApp);
+  net.run_for(millis(200));
+
+  for (int i = 1; i <= receivers; ++i) {
+    net.join_app(members[static_cast<std::size_t>(i)].engine->self(), kApp);
+    net.run_for(seconds(2.0));
+    std::printf("after join %d (last mile %.0f KB/s):\n", i,
+                members[static_cast<std::size_t>(i)].bw / 1000.0);
+    for (const auto& m : members) {
+      if (!m.alg->in_tree(kApp)) continue;
+      const auto parent = m.alg->parent(kApp);
+      std::printf("  %-18s degree=%zu stress=%.2f%s%s\n",
+                  m.engine->self().to_string().c_str(), m.alg->degree(kApp),
+                  m.alg->node_stress(kApp),
+                  parent ? (" parent=" + parent->to_string()).c_str() : "",
+                  m.engine == members[0].engine ? "  [source]" : "");
+    }
+  }
+  return 0;
+}

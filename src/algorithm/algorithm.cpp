@@ -1,0 +1,149 @@
+#include "algorithm/algorithm.h"
+
+#include "common/logging.h"
+#include "message/codec.h"
+
+namespace iov {
+
+Disposition Algorithm::process(const MsgPtr& m) {
+  // Any peer message teaches us its origin (cheap passive membership
+  // learning). Observer control-plane messages are excluded — the
+  // observer is not an overlay node and must not enter KnownHosts.
+  if (m->origin().valid() && !is_observer_type(m->type())) {
+    known_hosts_.add(m->origin(), engine().self());
+  }
+
+  switch (m->type()) {
+    case MsgType::kData:
+      return on_data(m);
+
+    case MsgType::kBootReply:
+      known_hosts_.add_from_list(m->param_text(), engine().self());
+      return Disposition::kDone;
+
+    case MsgType::kSDeploy:
+      on_deploy(static_cast<u32>(m->param(0)));
+      return Disposition::kDone;
+
+    case MsgType::kSTerminate:
+      on_terminate_source(static_cast<u32>(m->param(0)));
+      return Disposition::kDone;
+
+    case MsgType::kSJoin:
+      on_join(static_cast<u32>(m->param(0)), m->param_text());
+      return Disposition::kDone;
+
+    case MsgType::kSLeave:
+      on_leave(static_cast<u32>(m->param(0)));
+      return Disposition::kDone;
+
+    case MsgType::kControl:
+      on_control(m);
+      return Disposition::kDone;
+
+    case MsgType::kSAnnounce:
+      on_announce(static_cast<u32>(m->param(0)), m->param_text());
+      return Disposition::kDone;
+
+    case MsgType::kBrokenSource:
+      known_hosts_.remove(m->origin());
+      on_broken_source(m);
+      return Disposition::kDone;
+
+    case MsgType::kBrokenLink:
+      up_rate_.erase(m->origin());
+      down_rate_.erase(m->origin());
+      on_broken_link(m->origin());
+      return Disposition::kDone;
+
+    case MsgType::kUpThroughput:
+      on_up_throughput(m->origin(), static_cast<double>(m->param(0)));
+      return Disposition::kDone;
+
+    case MsgType::kDownThroughput:
+      on_down_throughput(m->origin(), static_cast<double>(m->param(0)));
+      return Disposition::kDone;
+
+    case MsgType::kTimer:
+      on_timer(m->param(0));
+      return Disposition::kDone;
+
+    case MsgType::kPing: {
+      // Echo the probe payload (the sender's timestamp) straight back.
+      auto pong = std::make_shared<Msg>(MsgType::kPong, engine().self(),
+                                        kControlApp, 0, m->payload());
+      engine().send(pong, m->origin());
+      return Disposition::kDone;
+    }
+
+    case MsgType::kPong: {
+      if (m->payload_size() >= 8) {
+        const auto t0 =
+            static_cast<TimePoint>(codec::read_u64(m->payload()->data()));
+        on_pong(m->origin(), engine().now() - t0);
+      }
+      return Disposition::kDone;
+    }
+
+    default:
+      if (to_wire(m->type()) >= to_wire(MsgType::kFirstUserType)) {
+        return on_user(m);
+      }
+      IOV_LOG_DEBUG("algorithm")
+          << "unhandled message " << m->describe() << " at "
+          << engine().self().to_string();
+      return Disposition::kDone;
+  }
+}
+
+Disposition Algorithm::on_data(const MsgPtr& m) {
+  engine().deliver_local(m);
+  return Disposition::kDone;
+}
+
+void Algorithm::on_up_throughput(const NodeId& peer, double bytes_per_sec) {
+  up_rate_[peer] = bytes_per_sec;
+}
+
+void Algorithm::on_down_throughput(const NodeId& peer, double bytes_per_sec) {
+  down_rate_[peer] = bytes_per_sec;
+}
+
+std::size_t Algorithm::disseminate(const MsgPtr& m,
+                                   const std::vector<NodeId>& targets,
+                                   double p) {
+  std::size_t sent = 0;
+  for (const auto& target : targets) {
+    if (target == engine().self()) continue;
+    if (engine().rng().chance(p)) {
+      engine().send(m->clone(), target);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+std::size_t Algorithm::disseminate(const MsgPtr& m, double p) {
+  return disseminate(m, known_hosts_.all(), p);
+}
+
+void Algorithm::ping(const NodeId& peer) {
+  std::vector<u8> payload(8);
+  codec::write_u64(payload.data(), static_cast<u64>(engine().now()));
+  auto probe = std::make_shared<Msg>(MsgType::kPing, engine().self(),
+                                     kControlApp, 0,
+                                     Buffer::wrap(std::move(payload)));
+  engine().send(probe, peer);
+}
+
+double Algorithm::upstream_rate(const NodeId& peer) const {
+  const auto it = up_rate_.find(peer);
+  return it == up_rate_.end() ? 0.0 : it->second;
+}
+
+double Algorithm::downstream_rate(const NodeId& peer) const {
+  const auto it = down_rate_.find(peer);
+  return it == down_rate_.end() ? 0.0 : it->second;
+}
+
+}  // namespace iov

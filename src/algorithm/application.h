@@ -1,0 +1,36 @@
+// The application layer (paper §2): "produces and interprets the data
+// portion of application-layer messages at both the sending and the
+// receiving ends".
+//
+// A node that is deployed as a *source* of an application session is
+// pumped by the engine: whenever the engine's switch has room, it asks
+// the application for the next message and routes it through the
+// algorithm exactly like a message that arrived from the network. This
+// keeps the algorithm purely reactive while giving sources natural
+// back-pressure — a back-to-back source simply always has a message
+// ready, and is throttled by its sender buffers filling up (which is how
+// the paper's "as fast as possible" chain workload behaves).
+#pragma once
+
+#include "common/node_id.h"
+#include "common/types.h"
+#include "message/msg.h"
+
+namespace iov {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called by the engine when this node is an active source of `app` and
+  /// the switch can accept another message. Return nullptr when no message
+  /// is ready yet (e.g., a constant-bit-rate source pacing itself against
+  /// `now`); the engine will ask again.
+  virtual MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) = 0;
+
+  /// Called when the algorithm delivers a data message of this application
+  /// to the local node (EngineApi::deliver_local).
+  virtual void deliver(const MsgPtr& m, TimePoint now) = 0;
+};
+
+}  // namespace iov

@@ -1,0 +1,44 @@
+#include "algorithm/gossip.h"
+
+#include "common/strings.h"
+
+namespace iov {
+
+void GossipAlgorithm::set_consume(u32 app, bool consume) {
+  if (consume) {
+    consume_.insert(app);
+  } else {
+    consume_.erase(app);
+  }
+}
+
+void GossipAlgorithm::on_join(u32 app, std::string_view arg) {
+  (void)arg;
+  set_consume(app, true);
+}
+
+Disposition GossipAlgorithm::on_data(const MsgPtr& m) {
+  const Key key{m->origin(), m->app(), m->seq()};
+  if (!seen_.insert(key).second) {
+    ++suppressed_;
+    return Disposition::kDone;
+  }
+  seen_order_.push_back(key);
+  if (seen_order_.size() > memory_) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  ++seen_total_;
+
+  if (consume_.count(m->app()) > 0) engine().deliver_local(m);
+  disseminate(m, known_hosts().sample(fanout_, engine().rng()), p_);
+  return Disposition::kDone;
+}
+
+std::string GossipAlgorithm::status() const {
+  return strf("gossip fanout=%zu p=%.2f seen=%llu dup=%llu", fanout_, p_,
+              static_cast<unsigned long long>(seen_total_),
+              static_cast<unsigned long long>(suppressed_));
+}
+
+}  // namespace iov

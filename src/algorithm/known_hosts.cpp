@@ -1,0 +1,48 @@
+#include "algorithm/known_hosts.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace iov {
+
+bool KnownHosts::add(const NodeId& id, const NodeId& self) {
+  if (!id.valid() || id == self) return false;
+  return hosts_.insert(id).second;
+}
+
+bool KnownHosts::remove(const NodeId& id) { return hosts_.erase(id) > 0; }
+
+std::vector<NodeId> KnownHosts::all() const {
+  std::vector<NodeId> out(hosts_.begin(), hosts_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> KnownHosts::sample(std::size_t k, Rng& rng) const {
+  return rng.sample(all(), k);
+}
+
+std::size_t KnownHosts::add_from_list(std::string_view list,
+                                      const NodeId& self) {
+  std::size_t added = 0;
+  for (const auto& entry : split(list, ',')) {
+    const auto trimmed = trim(entry);
+    if (trimmed.empty()) continue;
+    if (const auto id = NodeId::parse(trimmed)) {
+      if (add(*id, self)) ++added;
+    }
+  }
+  return added;
+}
+
+std::string KnownHosts::to_list() const {
+  std::string out;
+  for (const auto& id : all()) {
+    if (!out.empty()) out += ',';
+    out += id.to_string();
+  }
+  return out;
+}
+
+}  // namespace iov

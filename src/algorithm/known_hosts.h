@@ -1,0 +1,50 @@
+// KnownHosts — the local membership view every algorithm keeps
+// (paper §2.2, "upon receiving the bootstrap message from the observer,
+// it records the set of initial nodes in a local data structure referred
+// to as KnownHosts").
+//
+// Hosts are learned from the observer's bootstrap reply and from protocol
+// traffic (any message's origin can be recorded), and forgotten when a
+// failure notification arrives.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/node_id.h"
+#include "common/rng.h"
+
+namespace iov {
+
+class KnownHosts {
+ public:
+  /// Records `id`; returns true if it was new. The local node's own id and
+  /// invalid ids are ignored.
+  bool add(const NodeId& id, const NodeId& self);
+
+  /// Removes a host (e.g., after kBrokenLink); returns true if present.
+  bool remove(const NodeId& id);
+
+  bool contains(const NodeId& id) const { return hosts_.count(id) > 0; }
+  std::size_t size() const { return hosts_.size(); }
+  bool empty() const { return hosts_.empty(); }
+
+  /// Stable snapshot, sorted for determinism.
+  std::vector<NodeId> all() const;
+
+  /// Uniform random sample of up to `k` distinct hosts.
+  std::vector<NodeId> sample(std::size_t k, Rng& rng) const;
+
+  /// Parses a bootstrap reply payload: comma-separated "ip:port" list.
+  /// Unparseable entries are skipped. Returns how many were added.
+  std::size_t add_from_list(std::string_view list, const NodeId& self);
+
+  /// Serializes to the bootstrap-reply wire form.
+  std::string to_list() const;
+
+ private:
+  std::unordered_set<NodeId> hosts_;
+};
+
+}  // namespace iov

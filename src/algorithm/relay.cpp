@@ -1,0 +1,65 @@
+#include "algorithm/relay.h"
+
+#include "common/strings.h"
+
+namespace iov {
+
+namespace {
+const std::set<NodeId> kNoChildren;
+}  // namespace
+
+void RelayAlgorithm::set_consume(u32 app, bool consume) {
+  if (consume) {
+    consume_.insert(app);
+  } else {
+    consume_.erase(app);
+  }
+}
+
+const std::set<NodeId>& RelayAlgorithm::children(u32 app) const {
+  const auto it = children_.find(app);
+  return it == children_.end() ? kNoChildren : it->second;
+}
+
+Disposition RelayAlgorithm::on_data(const MsgPtr& m) {
+  if (consume_.count(m->app()) > 0) engine().deliver_local(m);
+  // Zero-copy fan-out: the same MsgPtr goes to every child; the engine's
+  // switch layer handles per-destination queueing.
+  for (const auto& child : children(m->app())) {
+    engine().send(m, child);
+  }
+  return Disposition::kDone;
+}
+
+void RelayAlgorithm::on_control(const MsgPtr& m) {
+  const auto child = NodeId::parse(trim(m->param_text()));
+  if (!child) return;
+  const u32 app = static_cast<u32>(m->param(1));
+  switch (m->param(0)) {
+    case kAddChild:
+      add_child(app, *child);
+      break;
+    case kRemoveChild:
+      remove_child(app, *child);
+      break;
+    default:
+      break;
+  }
+}
+
+void RelayAlgorithm::on_join(u32 app, std::string_view arg) {
+  (void)arg;
+  set_consume(app, true);
+}
+
+void RelayAlgorithm::on_broken_link(const NodeId& peer) {
+  for (auto& [app, kids] : children_) kids.erase(peer);
+}
+
+std::string RelayAlgorithm::status() const {
+  std::size_t edges = 0;
+  for (const auto& [app, kids] : children_) edges += kids.size();
+  return strf("relay apps=%zu edges=%zu", children_.size(), edges);
+}
+
+}  // namespace iov

@@ -1,0 +1,53 @@
+// RelayAlgorithm — the prefabricated forwarding algorithm the paper uses
+// for its engine-correctness experiments (§2.4): "when the number of
+// downstream nodes is more than one, we use the simple algorithm that
+// identical copies of the messages are sent to all downstream nodes. When
+// more than one upstream node exists, no merging is performed."
+//
+// The dissemination topology is static per application session: each node
+// is configured with the set of children it forwards to, either
+// programmatically before the engine starts or at runtime via observer
+// control messages (op kAddChild / kRemoveChild).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "algorithm/algorithm.h"
+
+namespace iov {
+
+class RelayAlgorithm : public Algorithm {
+ public:
+  /// Control-message opcodes (kControl param0) understood at runtime;
+  /// param1 is the application id and the text argument is the child
+  /// NodeId.
+  enum ControlOp : i32 { kAddChild = 1, kRemoveChild = 2 };
+
+  /// Configures a forwarding edge for `app` (harness-side setup).
+  void add_child(u32 app, const NodeId& child) { children_[app].insert(child); }
+  void remove_child(u32 app, const NodeId& child) {
+    const auto it = children_.find(app);
+    if (it != children_.end()) it->second.erase(child);
+  }
+
+  /// Marks this node as a local consumer of `app`: data is handed to the
+  /// registered Application in addition to being forwarded.
+  void set_consume(u32 app, bool consume);
+
+  const std::set<NodeId>& children(u32 app) const;
+
+  std::string status() const override;
+
+ protected:
+  Disposition on_data(const MsgPtr& m) override;
+  void on_control(const MsgPtr& m) override;
+  void on_join(u32 app, std::string_view arg) override;
+  void on_broken_link(const NodeId& peer) override;
+
+ private:
+  std::map<u32, std::set<NodeId>> children_;
+  std::set<u32> consume_;
+};
+
+}  // namespace iov

@@ -1,0 +1,62 @@
+// The measuring receiver application: counts delivered messages, checks
+// payload integrity against the source's deterministic pattern, tracks
+// per-origin sequence gaps and duplicates, and measures goodput. This is
+// what the paper's experiments read end-to-end throughput from.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algorithm/application.h"
+#include "common/stats.h"
+#include "message/buffer.h"
+#include "net/throughput.h"
+
+namespace iov::apps {
+
+class SinkApp : public Application {
+ public:
+  /// `expected_payload_bytes` > 0 additionally verifies each payload is
+  /// the Buffer::pattern of its sequence number (corruption check).
+  explicit SinkApp(std::size_t expected_payload_bytes = 0)
+      : expected_payload_(expected_payload_bytes) {}
+
+  /// Interprets the first 8 payload bytes as the sender's timestamp (see
+  /// CbrSource's `timestamped` mode) and accumulates end-to-end delay.
+  void track_delay(bool enable) { track_delay_ = enable; }
+
+  /// Mean / max end-to-end delay in nanoseconds (0 if none measured).
+  double mean_delay() const;
+  double max_delay() const;
+
+  MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) override;
+  void deliver(const MsgPtr& m, TimePoint now) override;
+
+  struct Stats {
+    u64 msgs = 0;
+    u64 bytes = 0;
+    u64 duplicates = 0;   ///< same (origin, seq) seen more than once
+    u64 corrupt = 0;      ///< payload failed the pattern check
+    u64 distinct = 0;     ///< unique (origin, seq) pairs
+    double rate_bps = 0;  ///< goodput over the meter window
+    TimePoint first_delivery = -1;
+    TimePoint last_delivery = -1;
+  };
+  /// Thread safe; `now` evaluates the goodput window.
+  Stats stats(TimePoint now) const;
+
+  /// Mean goodput between first and last delivery (robust for short runs).
+  double mean_goodput() const;
+
+ private:
+  const std::size_t expected_payload_;
+  bool track_delay_ = false;
+  mutable std::mutex mu_;
+  ThroughputMeter meter_{seconds(2.0)};
+  std::unordered_map<u64, std::unordered_set<u32>> seen_;  // origin key -> seqs
+  Stats stats_;
+  RunningStats delay_;
+};
+
+}  // namespace iov::apps

@@ -1,0 +1,46 @@
+#include "apps/source.h"
+
+#include "message/codec.h"
+
+namespace iov::apps {
+
+MsgPtr BackToBackSource::next_message(u32 app, const NodeId& self,
+                                      TimePoint now) {
+  (void)now;
+  const u64 n = produced_.load(std::memory_order_relaxed);
+  if (max_msgs_ > 0 && n >= max_msgs_) return nullptr;
+  produced_.fetch_add(1, std::memory_order_relaxed);
+  // Payload pattern keyed by sequence lets sinks verify integrity.
+  return Msg::data(self, app, static_cast<u32>(n),
+                   Buffer::pattern(payload_bytes_, static_cast<u32>(n)));
+}
+
+void BackToBackSource::deliver(const MsgPtr& m, TimePoint now) {
+  (void)m;
+  (void)now;  // sources do not consume
+}
+
+MsgPtr CbrSource::next_message(u32 app, const NodeId& self, TimePoint now) {
+  if (start_ < 0) start_ = now;
+  const double allowance =
+      bytes_per_sec_ * to_seconds(now - start_) - bytes_sent_;
+  if (allowance < static_cast<double>(payload_bytes_)) return nullptr;
+  bytes_sent_ += static_cast<double>(payload_bytes_);
+  const u64 n = produced_.fetch_add(1, std::memory_order_relaxed);
+  if (!timestamped_ || payload_bytes_ < 8) {
+    return Msg::data(self, app, static_cast<u32>(n),
+                     Buffer::pattern(payload_bytes_, static_cast<u32>(n)));
+  }
+  auto base = Buffer::pattern(payload_bytes_, static_cast<u32>(n));
+  std::vector<u8> bytes = base->bytes();
+  codec::write_u64(bytes.data(), static_cast<u64>(now));
+  return Msg::data(self, app, static_cast<u32>(n),
+                   Buffer::wrap(std::move(bytes)));
+}
+
+void CbrSource::deliver(const MsgPtr& m, TimePoint now) {
+  (void)m;
+  (void)now;
+}
+
+}  // namespace iov::apps

@@ -1,0 +1,64 @@
+// Traffic-generating applications (the paper's application layer).
+//
+// BackToBackSource reproduces the workload of the paper's engine
+// experiments (§2.4): "an application that sends back-to-back traffic
+// from one end of the chain to the other as fast as possible". It always
+// has a message ready; the engine's source pump throttles it against
+// sender-buffer back-pressure.
+//
+// CbrSource produces constant-bit-rate traffic (a streaming-like source),
+// pacing itself against the engine clock.
+#pragma once
+
+#include <atomic>
+
+#include "algorithm/application.h"
+#include "message/buffer.h"
+
+namespace iov::apps {
+
+class BackToBackSource : public Application {
+ public:
+  /// `payload_bytes` per message (the paper uses 5 KB). `max_msgs` > 0
+  /// stops the source after that many messages (0 = unbounded).
+  explicit BackToBackSource(std::size_t payload_bytes, u64 max_msgs = 0)
+      : payload_bytes_(payload_bytes), max_msgs_(max_msgs) {}
+
+  MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) override;
+  void deliver(const MsgPtr& m, TimePoint now) override;
+
+  u64 produced() const { return produced_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::size_t payload_bytes_;
+  const u64 max_msgs_;
+  std::atomic<u64> produced_{0};
+};
+
+class CbrSource : public Application {
+ public:
+  /// Emits `payload_bytes` messages so the long-run data rate approaches
+  /// `bytes_per_sec`. With `timestamped`, the first 8 payload bytes carry
+  /// the emission time (big-endian nanoseconds on the substrate clock) so
+  /// sinks can measure end-to-end delay (see SinkApp::track_delay).
+  CbrSource(std::size_t payload_bytes, double bytes_per_sec,
+            bool timestamped = false)
+      : payload_bytes_(payload_bytes),
+        bytes_per_sec_(bytes_per_sec),
+        timestamped_(timestamped) {}
+
+  MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) override;
+  void deliver(const MsgPtr& m, TimePoint now) override;
+
+  u64 produced() const { return produced_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::size_t payload_bytes_;
+  const double bytes_per_sec_;
+  const bool timestamped_;
+  std::atomic<u64> produced_{0};
+  TimePoint start_ = -1;
+  double bytes_sent_ = 0.0;
+};
+
+}  // namespace iov::apps

@@ -1,0 +1,128 @@
+#include "apps/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "message/codec.h"
+
+namespace iov::apps {
+
+bool FrameInfo::parse(const Msg& m, FrameInfo* out) {
+  if (m.payload_size() < kHeaderBytes) return false;
+  const u8* p = m.payload()->data();
+  out->emitted = static_cast<TimePoint>(codec::read_u64(p));
+  out->frame_id = codec::read_u32(p + 8);
+  out->type = p[12] == static_cast<u8>(FrameType::kIFrame)
+                  ? FrameType::kIFrame
+                  : FrameType::kPFrame;
+  return true;
+}
+
+VideoSource::VideoSource(double fps, std::size_t gop,
+                         std::size_t iframe_bytes, std::size_t pframe_bytes)
+    : fps_(fps),
+      gop_(std::max<std::size_t>(gop, 1)),
+      iframe_bytes_(std::max<std::size_t>(iframe_bytes,
+                                          FrameInfo::kHeaderBytes)),
+      pframe_bytes_(std::max<std::size_t>(pframe_bytes,
+                                          FrameInfo::kHeaderBytes)) {}
+
+double VideoSource::mean_bitrate() const {
+  const double per_gop =
+      static_cast<double>(iframe_bytes_) +
+      static_cast<double>(pframe_bytes_) * static_cast<double>(gop_ - 1);
+  return fps_ * per_gop / static_cast<double>(gop_);
+}
+
+MsgPtr VideoSource::next_message(u32 app, const NodeId& self, TimePoint now) {
+  if (start_ < 0) start_ = now;
+  // Frame i is due at start + i/fps; emit only when its time has come
+  // (the source is CBR in frames, not back-to-back).
+  const TimePoint due =
+      start_ + static_cast<Duration>(static_cast<double>(next_frame_) /
+                                     fps_ * static_cast<double>(kNanosPerSec));
+  if (now < due) return nullptr;
+
+  const bool iframe = (next_frame_ % gop_) == 0;
+  const std::size_t size = iframe ? iframe_bytes_ : pframe_bytes_;
+  auto base = Buffer::pattern(size, next_frame_);
+  std::vector<u8> bytes = base->bytes();
+  codec::write_u64(bytes.data(), static_cast<u64>(now));
+  codec::write_u32(bytes.data() + 8, next_frame_);
+  bytes[12] = static_cast<u8>(iframe ? FrameType::kIFrame
+                                     : FrameType::kPFrame);
+  const u32 id = next_frame_++;
+  return Msg::data(self, app, id, Buffer::wrap(std::move(bytes)));
+}
+
+void VideoSource::deliver(const MsgPtr& m, TimePoint now) {
+  (void)m;
+  (void)now;  // sources do not consume
+}
+
+PlayoutSink::PlayoutSink(double fps, Duration startup_delay)
+    : fps_(fps), startup_delay_(startup_delay) {
+  stats_.fps = fps;
+}
+
+MsgPtr PlayoutSink::next_message(u32 app, const NodeId& self, TimePoint now) {
+  (void)app;
+  (void)self;
+  (void)now;
+  return nullptr;
+}
+
+void PlayoutSink::deliver(const MsgPtr& m, TimePoint now) {
+  FrameInfo frame;
+  if (!FrameInfo::parse(*m, &frame)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.playout_base < 0) {
+    // Frame timing is anchored to the stream position of the *first*
+    // frame we saw, so a mid-stream join still gets sensible deadlines.
+    stats_.playout_base =
+        now + startup_delay_ -
+        static_cast<Duration>(static_cast<double>(frame.frame_id) / fps_ *
+                              static_cast<double>(kNanosPerSec));
+  }
+  if (!seen_.insert(frame.frame_id).second) {
+    ++stats_.duplicates;
+    return;
+  }
+  ++stats_.received;
+  stats_.highest_frame = std::max(stats_.highest_frame, frame.frame_id);
+  delay_sum_ms_ += to_seconds(now - frame.emitted) * 1000.0;
+  stats_.mean_delay_ms = delay_sum_ms_ / static_cast<double>(stats_.received);
+
+  const TimePoint deadline =
+      stats_.playout_base +
+      static_cast<Duration>(static_cast<double>(frame.frame_id) / fps_ *
+                            static_cast<double>(kNanosPerSec));
+  if (now <= deadline) {
+    ++stats_.on_time;
+  } else {
+    ++stats_.late;
+  }
+}
+
+u64 PlayoutSink::Stats::missing(TimePoint now) const {
+  if (playout_base < 0 || fps <= 0.0) return 0;
+  const double elapsed = to_seconds(now - playout_base);
+  if (elapsed <= 0.0) return 0;
+  const u64 due = static_cast<u64>(elapsed * fps);
+  return due > received ? due - received : 0;
+}
+
+double PlayoutSink::Stats::on_time_ratio(TimePoint now) const {
+  const u64 due_total = on_time + late + missing(now);
+  if (due_total == 0) return 1.0;
+  return static_cast<double>(on_time) / static_cast<double>(due_total);
+}
+
+PlayoutSink::Stats PlayoutSink::stats(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  (void)now;
+  return out;
+}
+
+}  // namespace iov::apps

@@ -1,0 +1,100 @@
+// Media-streaming application layer — the concrete form of the paper's
+// closing claim ("our recent experiences of successfully and rapidly
+// deploying a Windows-based MPEG-4 real-time streaming multicast
+// application on iOverlay have verified our claims", §4) and of the
+// delay-sensitive application class §2.4 discusses (strict latency
+// requirements, small per-node buffers).
+//
+// VideoSource emits a constant-frame-rate stream with a GOP structure:
+// every `gop` frames an I-frame (large), the rest P-frames (small). Each
+// frame's payload carries a 16-byte header (emission timestamp, frame
+// id, frame type) ahead of patterned filler.
+//
+// PlayoutSink models a receiver with a fixed startup buffering delay:
+// frame i's playout deadline is first_arrival + startup_delay + i/fps.
+// Frames that arrive after their deadline count as late (a visible
+// glitch); frames never seen by the time the next ones play count as
+// missing. The on-time ratio is the streaming quality the experiments
+// report.
+#pragma once
+
+#include <mutex>
+#include <set>
+
+#include "algorithm/application.h"
+#include "message/buffer.h"
+
+namespace iov::apps {
+
+enum class FrameType : u8 { kIFrame = 1, kPFrame = 2 };
+
+/// Parsed view of a frame payload header.
+struct FrameInfo {
+  TimePoint emitted = 0;
+  u32 frame_id = 0;
+  FrameType type = FrameType::kPFrame;
+
+  static constexpr std::size_t kHeaderBytes = 16;
+  /// Parses the first kHeaderBytes of `m`'s payload; false if too short.
+  static bool parse(const Msg& m, FrameInfo* out);
+};
+
+class VideoSource : public Application {
+ public:
+  /// `fps` frames per second; I-frames every `gop` frames of
+  /// `iframe_bytes`, P-frames of `pframe_bytes`. Mean bitrate ≈
+  /// fps * (iframe + (gop-1)*pframe) / gop.
+  VideoSource(double fps, std::size_t gop, std::size_t iframe_bytes,
+              std::size_t pframe_bytes);
+
+  MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) override;
+  void deliver(const MsgPtr& m, TimePoint now) override;
+
+  double mean_bitrate() const;  // bytes/second
+  u64 produced() const { return next_frame_; }
+
+ private:
+  const double fps_;
+  const std::size_t gop_;
+  const std::size_t iframe_bytes_;
+  const std::size_t pframe_bytes_;
+  u32 next_frame_ = 0;
+  TimePoint start_ = -1;
+};
+
+class PlayoutSink : public Application {
+ public:
+  /// Playback begins `startup_delay` after the first frame arrives.
+  PlayoutSink(double fps, Duration startup_delay);
+
+  MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) override;
+  void deliver(const MsgPtr& m, TimePoint now) override;
+
+  struct Stats {
+    u64 received = 0;
+    u64 on_time = 0;
+    u64 late = 0;        ///< arrived after the playout deadline
+    u64 duplicates = 0;
+    double mean_delay_ms = 0.0;  ///< network delay (emission -> arrival)
+    u32 highest_frame = 0;
+    /// Frames that should have played by `now` but never arrived.
+    u64 missing(TimePoint now) const;
+    TimePoint playout_base = -1;  ///< deadline of frame 0
+    double fps = 0.0;
+
+    /// Fraction of due frames that played on time: the quality metric.
+    double on_time_ratio(TimePoint now) const;
+  };
+  /// Thread safe.
+  Stats stats(TimePoint now) const;
+
+ private:
+  const double fps_;
+  const Duration startup_delay_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  double delay_sum_ms_ = 0.0;
+  std::set<u32> seen_;
+};
+
+}  // namespace iov::apps

@@ -1,0 +1,214 @@
+#include "coding/coding_algorithm.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace iov::coding {
+
+namespace {
+
+constexpr u8 kPlain = 0;
+constexpr u8 kCoded = 1;
+
+struct ParsedBlock {
+  bool coded = false;
+  u8 stream = 0;                // plain only
+  std::vector<u8> coeffs;       // coded only, k entries
+  const u8* data = nullptr;
+  std::size_t size = 0;
+};
+
+bool parse_block(const Msg& m, ParsedBlock* out) {
+  const u8* p = m.payload()->data();
+  const std::size_t n = m.payload_size();
+  if (n < 2) return false;
+  if (p[0] == kPlain) {
+    out->coded = false;
+    out->stream = p[1];
+    out->data = p + 2;
+    out->size = n - 2;
+    return true;
+  }
+  if (p[0] == kCoded) {
+    const std::size_t k = p[1];
+    if (k == 0 || n < 2 + k) return false;
+    out->coded = true;
+    out->coeffs.assign(p + 2, p + 2 + k);
+    out->data = p + 2 + k;
+    out->size = n - 2 - k;
+    return true;
+  }
+  return false;
+}
+
+BufferPtr make_plain_payload(u8 stream, const u8* data, std::size_t n) {
+  std::vector<u8> bytes(2 + n);
+  bytes[0] = kPlain;
+  bytes[1] = stream;
+  std::memcpy(bytes.data() + 2, data, n);
+  return Buffer::wrap(std::move(bytes));
+}
+
+BufferPtr make_coded_payload(const std::vector<u8>& coeffs,
+                             const std::vector<u8>& data) {
+  std::vector<u8> bytes(2 + coeffs.size() + data.size());
+  bytes[0] = kCoded;
+  bytes[1] = static_cast<u8>(coeffs.size());
+  std::memcpy(bytes.data() + 2, coeffs.data(), coeffs.size());
+  std::memcpy(bytes.data() + 2 + coeffs.size(), data.data(), data.size());
+  return Buffer::wrap(std::move(bytes));
+}
+
+}  // namespace
+
+void CodingAlgorithm::set_source_split(u32 app, std::vector<NodeId> children) {
+  splits_[app] = SplitConfig{std::move(children)};
+}
+
+void CodingAlgorithm::add_relay(u32 app, const NodeId& child) {
+  relays_[app].push_back(child);
+}
+
+void CodingAlgorithm::set_coder(u32 app, std::size_t k, std::vector<u8> coeffs,
+                                std::vector<NodeId> children) {
+  CoderConfig config;
+  config.k = k;
+  config.coeffs = std::move(coeffs);
+  config.children = std::move(children);
+  coders_[app] = std::move(config);
+}
+
+void CodingAlgorithm::set_decoder(u32 app, std::size_t k,
+                                  std::size_t block_bytes) {
+  DecoderConfig config;
+  config.k = k;
+  config.block_bytes = block_bytes;
+  decoders_[app] = std::move(config);
+}
+
+u64 CodingAlgorithm::decoded_blocks(u32 app) const {
+  const auto it = decoders_.find(app);
+  return it == decoders_.end() ? 0 : it->second.delivered;
+}
+
+Disposition CodingAlgorithm::on_data(const MsgPtr& m) {
+  const auto split_it = splits_.find(m->app());
+  if (split_it != splits_.end() && m->origin() == engine().self()) {
+    return handle_source_block(m, split_it->second);
+  }
+  return handle_network_block(m);
+}
+
+Disposition CodingAlgorithm::handle_source_block(const MsgPtr& m,
+                                                 SplitConfig& split) {
+  const std::size_t k = split.children.size();
+  if (k == 0) return Disposition::kDone;
+  const u32 seq = m->seq();
+  const u8 stream = static_cast<u8>(seq % k);
+  const u32 block = static_cast<u32>(seq / k);
+  auto wrapped = Msg::data(
+      m->origin(), m->app(), block,
+      make_plain_payload(stream, m->payload()->data(), m->payload_size()));
+  engine().send(wrapped, split.children[stream]);
+  return Disposition::kDone;
+}
+
+Disposition CodingAlgorithm::handle_network_block(const MsgPtr& m) {
+  ParsedBlock parsed;
+  if (!parse_block(*m, &parsed)) {
+    IOV_LOG_WARN("coding") << "malformed coding block "
+                           << m->describe();
+    return Disposition::kDone;
+  }
+  Disposition disposition = Disposition::kDone;
+
+  // Plain store-and-forward (helper nodes B, C, E): zero copy.
+  const auto relay_it = relays_.find(m->app());
+  if (relay_it != relays_.end()) {
+    for (const auto& child : relay_it->second) engine().send(m, child);
+  }
+
+  // The n-to-1 coder (node D): hold until the block is complete.
+  const auto coder_it = coders_.find(m->app());
+  if (coder_it != coders_.end() && !parsed.coded) {
+    CoderConfig& coder = coder_it->second;
+    auto& pending = coder.pending[m->seq()];
+    pending[parsed.stream] = m;
+    disposition = Disposition::kHold;
+    if (pending.size() == coder.k) {
+      std::vector<std::vector<u8>> blocks(coder.k);
+      for (const auto& [stream, held] : pending) {
+        ParsedBlock held_parsed;
+        if (parse_block(*held, &held_parsed) && stream < coder.k) {
+          blocks[stream].assign(held_parsed.data,
+                                held_parsed.data + held_parsed.size);
+        }
+      }
+      const auto combined = GaussianDecoder::combine(blocks, coder.coeffs);
+      auto coded = Msg::data(m->origin(), m->app(), m->seq(),
+                             make_coded_payload(coder.coeffs, combined));
+      for (const auto& child : coder.children) engine().send(coded, child);
+      coder.pending.erase(m->seq());
+    }
+  }
+
+  // The decoder (nodes D, F, G in the case study). Plain blocks are
+  // delivered to the application the moment they arrive (they need no
+  // decoding); the remaining streams of a block are delivered once the
+  // Gaussian solve completes.
+  const auto dec_it = decoders_.find(m->app());
+  if (dec_it != decoders_.end()) {
+    DecoderConfig& dec = dec_it->second;
+    const u32 block = m->seq();
+    if (dec.done.count(block) == 0) {
+      BlockState& state = dec.pending[block];
+      if (!state.solver) {
+        state.solver =
+            std::make_unique<GaussianDecoder>(dec.k, dec.block_bytes);
+      }
+      const auto deliver_stream = [&](u8 stream, const u8* data,
+                                      std::size_t size) {
+        if (!state.delivered_streams.insert(stream).second) return;
+        auto original = Msg::data(
+            m->origin(), m->app(),
+            block * static_cast<u32>(dec.k) + stream,
+            Buffer::copy(data, size));
+        engine().deliver_local(original);
+        ++dec.delivered;
+      };
+
+      std::vector<u8> coeffs;
+      if (parsed.coded) {
+        coeffs = parsed.coeffs;
+        coeffs.resize(dec.k, 0);
+      } else {
+        coeffs.assign(dec.k, 0);
+        if (parsed.stream < dec.k) coeffs[parsed.stream] = 1;
+        deliver_stream(parsed.stream, parsed.data, parsed.size);
+      }
+      state.solver->add_row(coeffs, parsed.data, parsed.size);
+      if (state.solver->complete()) {
+        for (std::size_t s = 0; s < dec.k; ++s) {
+          const auto& data = state.solver->block(s);
+          deliver_stream(static_cast<u8>(s), data.data(), data.size());
+        }
+        dec.pending.erase(block);
+        dec.done.insert(block);
+      }
+    }
+  }
+
+  return disposition;
+}
+
+std::string CodingAlgorithm::status() const {
+  u64 delivered = 0;
+  for (const auto& [app, dec] : decoders_) delivered += dec.delivered;
+  return strf("coding splits=%zu relays=%zu coders=%zu decoded=%llu",
+              splits_.size(), relays_.size(), coders_.size(),
+              static_cast<unsigned long long>(delivered));
+}
+
+}  // namespace iov::coding

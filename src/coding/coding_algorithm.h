@@ -1,0 +1,98 @@
+// The network-coding overlay algorithm of §3.2, built on the engine's
+// `hold` mechanism: a coder node buffers messages from its n incoming
+// streams (Disposition::kHold) until one block of every stream for the
+// same block index has arrived, then emits a single GF(2^8) linear
+// combination downstream; receivers run incremental Gaussian elimination
+// over whatever mix of plain and coded blocks reaches them and deliver
+// the reconstructed stream to the local application.
+//
+// Node roles are configured per application session:
+//   * source splitter — wraps the local source's messages into stream
+//     blocks (block index = seq / k, stream = seq % k) and routes stream
+//     s to the s-th child ("A sends half of the messages to B, and the
+//     other half to C");
+//   * relay — forwards coding-app messages verbatim (zero copy);
+//   * coder — the n-to-m merge at node D, coefficients configurable
+//     (the paper uses a + b, i.e. coefficients {1, 1});
+//   * decoder — any consuming node; plain blocks enter the decoder as
+//     unit-coefficient rows, so decoding works transparently whether a
+//     node receives originals, combinations, or both.
+//
+// Wire format inside the data payload (the 24-byte engine header is
+// untouched; seq carries the block index):
+//   byte 0          kPlain | kCoded
+//   byte 1          stream index (plain) or k (coded)
+//   bytes 2..       coefficient vector (coded only, k bytes)
+//   remaining       block data
+#pragma once
+
+#include <map>
+#include <set>
+#include <memory>
+#include <vector>
+
+#include "algorithm/algorithm.h"
+#include "coding/decoder.h"
+
+namespace iov::coding {
+
+class CodingAlgorithm : public Algorithm {
+ public:
+  /// Configures this node as the origin splitter of `app` with one child
+  /// per stream (k = children.size()).
+  void set_source_split(u32 app, std::vector<NodeId> children);
+
+  /// Configures plain store-and-forward of `app` to `children`.
+  void add_relay(u32 app, const NodeId& child);
+
+  /// Configures this node to code all k streams of `app` into one
+  /// outgoing stream sent to `children`. `coeffs` has k entries, all
+  /// nonzero; {1,1} reproduces the paper's a+b.
+  void set_coder(u32 app, std::size_t k, std::vector<u8> coeffs,
+                 std::vector<NodeId> children);
+
+  /// Configures this node to decode `app` (k streams of `block_bytes`
+  /// each) and deliver reconstructed blocks to the local application.
+  void set_decoder(u32 app, std::size_t k, std::size_t block_bytes);
+
+  /// Blocks fully decoded and delivered locally so far.
+  u64 decoded_blocks(u32 app) const;
+
+  std::string status() const override;
+
+ protected:
+  Disposition on_data(const MsgPtr& m) override;
+
+ private:
+  struct SplitConfig {
+    std::vector<NodeId> children;
+  };
+  struct CoderConfig {
+    std::size_t k = 0;
+    std::vector<u8> coeffs;
+    std::vector<NodeId> children;
+    // block index -> (stream -> held message)
+    std::map<u32, std::map<u8, MsgPtr>> pending;
+  };
+  struct BlockState {
+    std::unique_ptr<GaussianDecoder> solver;
+    std::set<u8> delivered_streams;  ///< plain blocks handed up eagerly
+  };
+  struct DecoderConfig {
+    std::size_t k = 0;
+    std::size_t block_bytes = 0;
+    std::map<u32, BlockState> pending;
+    std::set<u32> done;  ///< completed blocks (late duplicates ignored)
+    u64 delivered = 0;
+  };
+
+  Disposition handle_source_block(const MsgPtr& m, SplitConfig& split);
+  Disposition handle_network_block(const MsgPtr& m);
+
+  std::map<u32, SplitConfig> splits_;
+  std::map<u32, std::vector<NodeId>> relays_;
+  std::map<u32, CoderConfig> coders_;
+  std::map<u32, DecoderConfig> decoders_;
+};
+
+}  // namespace iov::coding

@@ -1,0 +1,82 @@
+#include "coding/decoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "coding/gf256.h"
+
+namespace iov::coding {
+
+GaussianDecoder::GaussianDecoder(std::size_t k, std::size_t block_size)
+    : k_(k),
+      block_size_(block_size),
+      coeff_rows_(k, std::vector<u8>(k, 0)),
+      payload_rows_(k, std::vector<u8>(block_size, 0)),
+      have_pivot_(k, false) {}
+
+bool GaussianDecoder::add_row(const std::vector<u8>& coeffs, const u8* payload,
+                              std::size_t payload_size) {
+  assert(coeffs.size() == k_);
+  std::vector<u8> c = coeffs;
+  std::vector<u8> p(block_size_, 0);
+  std::memcpy(p.data(), payload, std::min(payload_size, block_size_));
+
+  // Forward-eliminate against existing pivots.
+  for (std::size_t col = 0; col < k_; ++col) {
+    if (c[col] == 0) continue;
+    if (!have_pivot_[col]) {
+      // Normalize so the pivot is 1 and store.
+      const u8 inv = gf_inv(c[col]);
+      gf_scale(c.data(), inv, k_);
+      gf_scale(p.data(), inv, block_size_);
+      coeff_rows_[col] = std::move(c);
+      payload_rows_[col] = std::move(p);
+      have_pivot_[col] = true;
+      ++rank_;
+      decoded_ = false;
+      return true;
+    }
+    const u8 factor = c[col];
+    gf_axpy(c.data(), coeff_rows_[col].data(), factor, k_);
+    gf_axpy(p.data(), payload_rows_[col].data(), factor, block_size_);
+  }
+  return false;  // reduced to zero: not innovative
+}
+
+void GaussianDecoder::back_substitute() {
+  blocks_.assign(k_, std::vector<u8>(block_size_, 0));
+  // Rows are in echelon form with unit pivots; eliminate bottom-up.
+  std::vector<std::vector<u8>> coeffs = coeff_rows_;
+  std::vector<std::vector<u8>> payloads = payload_rows_;
+  for (std::size_t col = k_; col-- > 0;) {
+    for (std::size_t row = 0; row < col; ++row) {
+      const u8 factor = coeffs[row][col];
+      if (factor == 0) continue;
+      gf_axpy(coeffs[row].data(), coeffs[col].data(), factor, k_);
+      gf_axpy(payloads[row].data(), payloads[col].data(), factor,
+              block_size_);
+    }
+  }
+  for (std::size_t i = 0; i < k_; ++i) blocks_[i] = std::move(payloads[i]);
+  decoded_ = true;
+}
+
+const std::vector<u8>& GaussianDecoder::block(std::size_t i) const {
+  assert(complete());
+  if (!decoded_) const_cast<GaussianDecoder*>(this)->back_substitute();
+  return blocks_[i];
+}
+
+std::vector<u8> GaussianDecoder::combine(
+    const std::vector<std::vector<u8>>& blocks, const std::vector<u8>& coeffs) {
+  std::size_t longest = 0;
+  for (const auto& b : blocks) longest = std::max(longest, b.size());
+  std::vector<u8> out(longest, 0);
+  for (std::size_t i = 0; i < blocks.size() && i < coeffs.size(); ++i) {
+    gf_axpy(out.data(), blocks[i].data(), coeffs[i], blocks[i].size());
+  }
+  return out;
+}
+
+}  // namespace iov::coding

@@ -1,0 +1,55 @@
+// Incremental Gaussian elimination over GF(2^8).
+//
+// A GaussianDecoder collects linear combinations of k source blocks (each
+// row = coefficient vector + combined payload) and recovers the originals
+// once k innovative rows have arrived. Rows that add no rank are reported
+// non-innovative and discarded — exactly what an overlay node running
+// network coding needs to decide whether a received coded message is
+// useful (§3.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iov::coding {
+
+class GaussianDecoder {
+ public:
+  /// `k` source blocks of `block_size` bytes each.
+  GaussianDecoder(std::size_t k, std::size_t block_size);
+
+  /// Adds one received combination; `coeffs` has k entries and `payload`
+  /// block_size bytes (shorter payloads are zero-extended). Returns true
+  /// iff the row increased the decoding rank (was innovative).
+  bool add_row(const std::vector<u8>& coeffs, const u8* payload,
+               std::size_t payload_size);
+
+  std::size_t k() const { return k_; }
+  std::size_t rank() const { return rank_; }
+  bool complete() const { return rank_ == k_; }
+
+  /// Decoded source block `i` (only when complete()).
+  const std::vector<u8>& block(std::size_t i) const;
+
+  /// Encodes a fresh combination of `blocks` with `coeffs` (helper used
+  /// by coders; all blocks zero-extended to the longest).
+  static std::vector<u8> combine(const std::vector<std::vector<u8>>& blocks,
+                                 const std::vector<u8>& coeffs);
+
+ private:
+  void back_substitute();
+
+  std::size_t k_;
+  std::size_t block_size_;
+  std::size_t rank_ = 0;
+  // Row-echelon state: rows_[p] holds the row whose pivot column is p.
+  std::vector<std::vector<u8>> coeff_rows_;   // k x k (0-filled until used)
+  std::vector<std::vector<u8>> payload_rows_;  // k x block_size
+  std::vector<bool> have_pivot_;
+  bool decoded_ = false;
+  std::vector<std::vector<u8>> blocks_;
+};
+
+}  // namespace iov::coding

@@ -1,0 +1,84 @@
+#include "coding/gf256.h"
+
+namespace iov::coding {
+
+namespace {
+
+struct Tables {
+  u8 exp[512];   // doubled so mul can skip one modulo
+  u8 log[256];
+
+  Tables() {
+    u16 x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<u8>(x);
+      log[x] = static_cast<u8>(i);
+      // Multiply by the generator 0x02 (primitive for 0x11d).
+      x = static_cast<u16>(x << 1);
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // never consulted for 0 operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+u8 gf_mul(u8 a, u8 b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+u8 gf_inv(u8 a) {
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+u8 gf_div(u8 a, u8 b) {
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+u8 gf_pow(u8 a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+}
+
+void gf_axpy(u8* dst, const u8* src, u8 coeff, std::size_t n) {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned log_c = t.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const u8 s = src[i];
+    if (s != 0) dst[i] ^= t.exp[t.log[s] + log_c];
+  }
+}
+
+void gf_scale(u8* dst, u8 coeff, std::size_t n) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned log_c = t.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const u8 d = dst[i];
+    if (d != 0) dst[i] = t.exp[t.log[d] + log_c];
+  }
+}
+
+}  // namespace iov::coding

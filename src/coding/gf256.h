@@ -1,0 +1,42 @@
+// Arithmetic in the Galois field GF(2^8) — the algebra behind the
+// paper's network-coding case study (§3.2: "messages from multiple
+// incoming streams are coded into one stream using linear codes in the
+// Galois Field, and more specifically, with GF(2^8)").
+//
+// Elements are bytes; addition is XOR; multiplication is carried out via
+// logarithm/antilogarithm tables over the generator 0x02 of the field
+// defined by the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d).
+// Tables are built once at static-initialization time.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace iov::coding {
+
+/// Field addition (and subtraction — characteristic 2).
+constexpr u8 gf_add(u8 a, u8 b) { return a ^ b; }
+constexpr u8 gf_sub(u8 a, u8 b) { return a ^ b; }
+
+/// Field multiplication.
+u8 gf_mul(u8 a, u8 b);
+
+/// Multiplicative inverse; precondition a != 0.
+u8 gf_inv(u8 a);
+
+/// a / b; precondition b != 0.
+u8 gf_div(u8 a, u8 b);
+
+/// a^n in the field (n >= 0; a^0 == 1).
+u8 gf_pow(u8 a, unsigned n);
+
+// --- Byte-vector kernels (the hot path of coding at line rate) --------------
+
+/// dst[i] ^= coeff * src[i] for i in [0, n).
+void gf_axpy(u8* dst, const u8* src, u8 coeff, std::size_t n);
+
+/// dst[i] = coeff * dst[i].
+void gf_scale(u8* dst, u8 coeff, std::size_t n);
+
+}  // namespace iov::coding

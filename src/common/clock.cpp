@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <ctime>
+#include <thread>
+
+namespace iov {
+
+TimePoint RealClock::now() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<TimePoint>(ts.tv_sec) * kNanosPerSec + ts.tv_nsec;
+}
+
+const RealClock& RealClock::instance() {
+  static const RealClock clock;
+  return clock;
+}
+
+void sleep_for(Duration d) {
+  if (d <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+}  // namespace iov

@@ -1,0 +1,50 @@
+// Clock abstraction: the real engine reads the machine's monotonic clock,
+// while the simulator supplies virtual time. Algorithms and measurement
+// utilities only ever see the Clock interface, which is what allows the
+// same algorithm implementation to run unmodified on both substrates.
+#pragma once
+
+#include "common/types.h"
+
+namespace iov {
+
+/// A monotonically non-decreasing source of time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since this clock's epoch.
+  virtual TimePoint now() const = 0;
+};
+
+/// Wall-clock-backed monotonic clock (CLOCK_MONOTONIC).
+class RealClock final : public Clock {
+ public:
+  TimePoint now() const override;
+
+  /// Process-wide shared instance.
+  static const RealClock& instance();
+};
+
+/// A manually advanced clock, used by the simulator and by unit tests
+/// that need deterministic time.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0) : now_(start) {}
+
+  TimePoint now() const override { return now_; }
+
+  /// Moves time forward by `d`; `d` must be non-negative.
+  void advance(Duration d) { now_ += d; }
+
+  /// Jumps directly to `t`; `t` must not be earlier than now().
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+/// Blocks the calling thread for `d` of real time.
+void sleep_for(Duration d);
+
+}  // namespace iov

@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace iov {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& text) {
+  const double t = to_seconds(RealClock::instance().now());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%12.6f] %s %-10s %s\n", t, level_name(level),
+               component.c_str(), text.c_str());
+}
+
+}  // namespace iov

@@ -1,0 +1,73 @@
+// Minimal leveled logging for the middleware. The engine is a
+// multi-threaded program, so log emission is serialized through one
+// mutex; formatting happens outside the lock.
+//
+// The observer additionally collects `trace`-type messages from nodes
+// (see observer/trace_log.h); this logger is for local diagnostics only.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace iov {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  /// Returns the singleton logger.
+  static Logger& instance();
+
+  /// Only records at or above `level` are emitted.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one formatted line; thread safe.
+  void write(LogLevel level, const std::string& component,
+             const std::string& text);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+
+/// Stream-style accumulator that flushes one log line on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, component_, out_.str()); }
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+}  // namespace iov
+
+// Usage: IOV_LOG_INFO("engine") << "node " << id << " bootstrapped";
+#define IOV_LOG(lvl, component)                               \
+  if (static_cast<int>(lvl) <                                 \
+      static_cast<int>(::iov::Logger::instance().level())) {} \
+  else ::iov::detail::LogLine(lvl, component)
+
+#define IOV_LOG_DEBUG(component) IOV_LOG(::iov::LogLevel::kDebug, component)
+#define IOV_LOG_INFO(component) IOV_LOG(::iov::LogLevel::kInfo, component)
+#define IOV_LOG_WARN(component) IOV_LOG(::iov::LogLevel::kWarn, component)
+#define IOV_LOG_ERROR(component) IOV_LOG(::iov::LogLevel::kError, component)

@@ -1,0 +1,32 @@
+#include "common/node_id.h"
+
+#include "common/strings.h"
+
+namespace iov {
+
+std::string NodeId::to_string() const {
+  return strf("%u.%u.%u.%u:%u", (ip_ >> 24) & 0xff, (ip_ >> 16) & 0xff,
+              (ip_ >> 8) & 0xff, ip_ & 0xff, port_);
+}
+
+std::optional<NodeId> NodeId::parse(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto host = text.substr(0, colon);
+  const auto port_text = text.substr(colon + 1);
+
+  unsigned long long port = 0;
+  if (!parse_u64(port_text, 65535, &port)) return std::nullopt;
+
+  const auto octets = split(host, '.');
+  if (octets.size() != 4) return std::nullopt;
+  u32 ip = 0;
+  for (const auto& octet : octets) {
+    unsigned long long v = 0;
+    if (!parse_u64(octet, 255, &v)) return std::nullopt;
+    ip = (ip << 8) | static_cast<u32>(v);
+  }
+  return NodeId(ip, static_cast<u16>(port));
+}
+
+}  // namespace iov

@@ -1,0 +1,63 @@
+// A node in iOverlay is uniquely identified by its IPv4 address and port
+// number (paper §2.2). NodeId is a small value type used as the key of
+// every per-peer table in the engine, the algorithms, and the observer.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace iov {
+
+class NodeId {
+ public:
+  /// The "no node" sentinel (0.0.0.0:0); also what default construction
+  /// yields. Used e.g. as the origin of engine-internal messages.
+  constexpr NodeId() = default;
+
+  /// `ip` is the IPv4 address in host byte order, e.g. 127.0.0.1 is
+  /// 0x7f000001.
+  constexpr NodeId(u32 ip, u16 port) : ip_(ip), port_(port) {}
+
+  constexpr u32 ip() const { return ip_; }
+  constexpr u16 port() const { return port_; }
+
+  constexpr bool valid() const { return ip_ != 0 || port_ != 0; }
+
+  /// Dotted-quad "a.b.c.d:port" form.
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d:port". Returns nullopt on malformed input.
+  static std::optional<NodeId> parse(std::string_view text);
+
+  /// Builds a loopback id 127.0.0.1:port — the address of virtualized
+  /// nodes co-located on one host.
+  static constexpr NodeId loopback(u16 port) {
+    return NodeId(0x7f000001u, port);
+  }
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+ private:
+  u32 ip_ = 0;
+  u16 port_ = 0;
+};
+
+}  // namespace iov
+
+template <>
+struct std::hash<iov::NodeId> {
+  std::size_t operator()(const iov::NodeId& id) const noexcept {
+    const iov::u64 v =
+        (static_cast<iov::u64>(id.ip()) << 16) ^ id.port();
+    // splitmix64 finalizer for good bit diffusion.
+    iov::u64 z = v + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace iov {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+u64 Rng::operator()() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  // Lemire's unbiased bounded generation.
+  u64 x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  u64 l = static_cast<u64>(m);
+  if (l < bound) {
+    const u64 threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+i64 Rng::uniform_int(i64 lo, i64 hi) {
+  return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + uniform01() * (hi - lo);
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  for (auto& s : child.s_) s = (*this)();
+  // Guard against the (astronomically unlikely) all-zero state, which is a
+  // fixed point of xoshiro.
+  child.s_[0] |= 1;
+  return child;
+}
+
+}  // namespace iov

@@ -1,0 +1,99 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iov {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  ensure_sorted();
+  if (samples_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::table(
+    double lo, double hi, std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (points < 2 || hi <= lo) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+void TimeSeriesBins::add(TimePoint t, double value) {
+  if (t < 0 || width_ <= 0) return;
+  const auto idx = static_cast<std::size_t>(t / width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += value;
+}
+
+double TimeSeriesBins::bin(std::size_t i) const {
+  return i < bins_.size() ? bins_[i] : 0.0;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       std::size_t cell_width) {
+  std::string out;
+  for (const auto& cell : cells) {
+    std::string padded = cell;
+    if (padded.size() < cell_width) {
+      padded.append(cell_width - padded.size(), ' ');
+    } else {
+      padded.push_back(' ');
+    }
+    out += padded;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace iov

@@ -1,0 +1,90 @@
+// Small statistics toolkit used by the benchmark harnesses to reproduce
+// the paper's figures: running summaries (mean / min / max / stddev),
+// empirical CDFs (Fig 11b), and fixed-width time-series bins (Fig 16).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iov {
+
+/// Streaming summary statistics (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Empirical cumulative distribution over a stored sample set.
+class EmpiricalCdf {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Fraction of samples <= x. Sorts lazily.
+  double at(double x) const;
+
+  /// p-quantile for p in [0,1] (nearest-rank). Undefined when empty.
+  double quantile(double p) const;
+
+  /// Evaluates the CDF at `points` evenly spaced values across [lo, hi];
+  /// used to print Fig 11(b)-style tables.
+  std::vector<std::pair<double, double>> table(double lo, double hi,
+                                               std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Accumulates values into fixed-width time bins starting at t = 0;
+/// used for "overhead over time" figures (Fig 16).
+class TimeSeriesBins {
+ public:
+  explicit TimeSeriesBins(Duration bin_width) : width_(bin_width) {}
+
+  /// Adds `value` to the bin containing time `t` (>= 0).
+  void add(TimePoint t, double value);
+
+  Duration bin_width() const { return width_; }
+  std::size_t bin_count() const { return bins_.size(); }
+
+  /// Sum accumulated in bin `i` (0 if never touched).
+  double bin(std::size_t i) const;
+
+  /// All bins up to and including the last touched one.
+  const std::vector<double>& bins() const { return bins_; }
+
+ private:
+  Duration width_;
+  std::vector<double> bins_;
+};
+
+/// Renders a plain-text table row; the harnesses use this to print
+/// aligned paper-style tables.
+std::string format_row(const std::vector<std::string>& cells,
+                       std::size_t cell_width = 14);
+
+}  // namespace iov

@@ -1,0 +1,28 @@
+// String helpers shared across modules (parsing node addresses,
+// formatting figures, splitting observer command lines).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iov {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on any non-digit input
+/// or overflow past `max`.
+bool parse_u64(std::string_view s, unsigned long long max,
+               unsigned long long* out);
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace iov

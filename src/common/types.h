@@ -1,0 +1,53 @@
+// Basic fixed-width type aliases and time primitives shared by every
+// iOverlay module.
+//
+// Time is represented as a signed nanosecond count since an arbitrary
+// epoch. Using a plain arithmetic representation (instead of
+// std::chrono::time_point) lets real and simulated clocks share one
+// currency: the discrete-event simulator advances a virtual TimePoint,
+// the real engine reads CLOCK_MONOTONIC, and algorithm code is oblivious
+// to which substrate it runs on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace iov {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Nanoseconds since an arbitrary (per-clock) epoch.
+using TimePoint = i64;
+
+/// A span of time in nanoseconds.
+using Duration = i64;
+
+constexpr Duration kNanosPerSec = 1'000'000'000;
+constexpr Duration kNanosPerMilli = 1'000'000;
+constexpr Duration kNanosPerMicro = 1'000;
+
+/// Converts whole seconds to a Duration.
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kNanosPerSec));
+}
+
+/// Converts whole milliseconds to a Duration.
+constexpr Duration millis(i64 ms) { return ms * kNanosPerMilli; }
+
+/// Converts a Duration to fractional seconds.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosPerSec);
+}
+
+/// Converts a std::chrono duration to an iov::Duration.
+template <class Rep, class Period>
+constexpr Duration from_chrono(std::chrono::duration<Rep, Period> d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+}  // namespace iov

@@ -1,0 +1,442 @@
+#include "dht/chord.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace iov::dht {
+
+namespace {
+
+constexpr i32 kStabilizeTimer = 50;
+constexpr i32 kFingerTimer = 51;
+constexpr Duration kStabilizePeriod = millis(400);
+constexpr Duration kFingerPeriod = millis(120);
+constexpr u32 kJoinRequest = 0xffffffffu;
+constexpr u32 kFingerRequestBase = 0xffff0000u;
+constexpr int kInitialTtl = 128;
+
+std::map<std::string, std::string> parse_fields(std::string_view text) {
+  std::map<std::string, std::string> out;
+  for (const auto& field : split(text, '|')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    out[field.substr(0, eq)] = field.substr(eq + 1);
+  }
+  return out;
+}
+
+std::string hex(u64 v) { return strf("%llx", (unsigned long long)v); }
+
+std::optional<u64> parse_hex(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const u64 v = std::strtoull(s.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+u64 hash_bytes(std::string_view bytes) {
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<u8>(c);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 31;
+  }
+  h ^= h >> 33;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 29;
+  return h;
+}
+
+u64 hash_node(const NodeId& id) { return hash_bytes(id.to_string()); }
+
+bool in_ring_oc(u64 x, u64 a, u64 b) {
+  if (a == b) return true;  // the whole ring (single-node case)
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapping interval
+}
+
+bool in_ring_oo(u64 x, u64 a, u64 b) {
+  if (a == b) return x != a;
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+NodeId ChordAlgorithm::successor() const {
+  return successors_.empty() ? engine().self() : successors_.front();
+}
+
+void ChordAlgorithm::on_start() {
+  id_ = hash_node(engine().self());
+  if (successors_.empty()) successors_.push_back(engine().self());
+  engine().set_timer(kStabilizePeriod, kStabilizeTimer);
+  engine().set_timer(kFingerPeriod, kFingerTimer);
+}
+
+bool ChordAlgorithm::owns(u64 key) const {
+  if (successor() == engine().self()) return true;  // alone: own the ring
+  if (!predecessor_.valid()) return false;          // still joining
+  return in_ring_oc(key, hash_node(predecessor_), id_);
+}
+
+NodeId ChordAlgorithm::closest_preceding(u64 key) const {
+  NodeId best;
+  u64 best_distance = ~0ULL;
+  const auto consider = [&](const NodeId& candidate) {
+    if (!candidate.valid() || candidate == engine().self()) return;
+    const u64 h = hash_node(candidate);
+    if (!in_ring_oo(h, id_, key)) return;
+    const u64 distance = key - h;  // ring distance below key (mod 2^64)
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  };
+  for (const auto& finger : fingers_) consider(finger);
+  for (const auto& succ : successors_) consider(succ);
+  return best.valid() ? best : successor();
+}
+
+void ChordAlgorithm::join(const NodeId& known) {
+  route_find(id_, kJoinRequest, engine().self(), 0);
+  // The local route immediately forwards through `known` when we know
+  // nobody else yet.
+  if (successor() == engine().self() && known.valid() &&
+      known != engine().self()) {
+    const std::string text = "key=" + hex(id_) +
+                             "|req=" + strf("%u", kJoinRequest) +
+                             "|reply=" + engine().self().to_string() +
+                             "|hops=0|ttl=" + strf("%d", kInitialTtl);
+    engine().send(Msg::control(kFindSucc, engine().self(), kControlApp, 0, 0,
+                               text),
+                  known);
+  }
+}
+
+void ChordAlgorithm::lookup(u64 key, u32 request) {
+  route_find(key, request, engine().self(), 0);
+}
+
+void ChordAlgorithm::route_find(u64 key, u32 request, const NodeId& reply_to,
+                                u32 hops, int ttl) {
+  if (ttl <= 0) return;  // routing loop guard (pre-stabilization rings)
+  NodeId owner;
+  if (successor() == engine().self()) {
+    owner = engine().self();  // one-node ring
+  } else if (in_ring_oc(key, id_, hash_node(successor()))) {
+    owner = successor();
+  }
+  if (owner.valid()) {
+    if (reply_to == engine().self()) {
+      const LookupResult result{request, key, owner, hops};
+      if (request == kJoinRequest) {
+        adopt_successor(result.owner);
+      } else if (request >= kFingerRequestBase && request != kJoinRequest) {
+        fingers_[request - kFingerRequestBase] = result.owner;
+      } else {
+        lookups_.push_back(result);
+        on_lookup(result);
+      }
+    } else {
+      const std::string text = "key=" + hex(key) +
+                               "|req=" + strf("%u", request) +
+                               "|owner=" + owner.to_string() +
+                               "|hops=" + strf("%u", hops);
+      engine().send(Msg::control(kSuccIs, engine().self(), kControlApp, 0, 0,
+                                 text),
+                    reply_to);
+    }
+    return;
+  }
+  const std::string text = "key=" + hex(key) + "|req=" +
+                           strf("%u", request) + "|reply=" +
+                           reply_to.to_string() + "|hops=" +
+                           strf("%u", hops + 1) + "|ttl=" +
+                           strf("%d", ttl - 1);
+  engine().send(
+      Msg::control(kFindSucc, engine().self(), kControlApp, 0, 0, text),
+      closest_preceding(key));
+}
+
+void ChordAlgorithm::put(std::string_view key, std::string_view value) {
+  const u64 h = hash_bytes(key);
+  if (owns(h)) {
+    store_[std::string(key)] = std::string(value);
+    return;
+  }
+  const std::string text = "key=" + std::string(key) +
+                           "|value=" + std::string(value) +
+                           "|ttl=" + strf("%d", kInitialTtl);
+  engine().send(Msg::control(kPut, engine().self(), kControlApp, 0, 0, text),
+                in_ring_oc(h, id_, hash_node(successor()))
+                    ? successor()
+                    : closest_preceding(h));
+}
+
+void ChordAlgorithm::get(std::string_view key, u32 request) {
+  const u64 h = hash_bytes(key);
+  if (owns(h)) {
+    const auto it = store_.find(std::string(key));
+    gets_.push_back(GetResult{request, it != store_.end(),
+                              it != store_.end() ? it->second : ""});
+    return;
+  }
+  const std::string text = "key=" + std::string(key) +
+                           "|req=" + strf("%u", request) +
+                           "|reply=" + engine().self().to_string() +
+                           "|ttl=" + strf("%d", kInitialTtl);
+  engine().send(Msg::control(kGet, engine().self(), kControlApp, 0, 0, text),
+                in_ring_oc(h, id_, hash_node(successor()))
+                    ? successor()
+                    : closest_preceding(h));
+}
+
+Disposition ChordAlgorithm::on_user(const MsgPtr& m) {
+  const auto fields = parse_fields(m->param_text());
+  const auto field = [&](const char* name) -> std::string {
+    const auto it = fields.find(name);
+    return it == fields.end() ? std::string() : it->second;
+  };
+  const auto ttl_ok = [&]() -> bool {
+    const long long ttl = std::strtoll(field("ttl").c_str(), nullptr, 10);
+    return ttl > 0;
+  };
+
+  switch (m->type()) {
+    case kFindSucc: {
+      const auto key = parse_hex(field("key"));
+      const auto reply = NodeId::parse(field("reply"));
+      if (!key || !reply || !ttl_ok()) return Disposition::kDone;
+      const auto hops =
+          static_cast<u32>(std::strtoul(field("hops").c_str(), nullptr, 10));
+      const auto request =
+          static_cast<u32>(std::strtoul(field("req").c_str(), nullptr, 10));
+      const int ttl =
+          static_cast<int>(std::strtol(field("ttl").c_str(), nullptr, 10));
+      route_find(*key, request, *reply, hops, ttl);
+      return Disposition::kDone;
+    }
+
+    case kSuccIs: {
+      const auto key = parse_hex(field("key"));
+      const auto owner = NodeId::parse(field("owner"));
+      if (!key || !owner) return Disposition::kDone;
+      const auto hops =
+          static_cast<u32>(std::strtoul(field("hops").c_str(), nullptr, 10));
+      const auto request =
+          static_cast<u32>(std::strtoul(field("req").c_str(), nullptr, 10));
+      if (request == kJoinRequest) {
+        adopt_successor(*owner);
+      } else if (request >= kFingerRequestBase) {
+        const std::size_t index = request - kFingerRequestBase;
+        if (index < fingers_.size()) fingers_[index] = *owner;
+      } else {
+        const LookupResult result{request, *key, *owner, hops};
+        lookups_.push_back(result);
+        on_lookup(result);
+      }
+      return Disposition::kDone;
+    }
+
+    case kGetPred: {
+      std::string succs;
+      succs += engine().self().to_string();
+      for (const auto& s : successors_) {
+        if (s == engine().self()) continue;
+        succs += ',' + s.to_string();
+      }
+      const std::string text =
+          "pred=" + predecessor_.to_string() + "|succs=" + succs;
+      engine().send(
+          Msg::control(kPredIs, engine().self(), kControlApp, 0, 0, text),
+          m->origin());
+      return Disposition::kDone;
+    }
+
+    case kPredIs: {
+      // Reply from our successor during stabilization.
+      if (m->origin() != successor()) return Disposition::kDone;
+      const auto pred = NodeId::parse(field("pred"));
+      if (pred && pred->valid() && *pred != engine().self() &&
+          in_ring_oo(hash_node(*pred), id_, hash_node(successor()))) {
+        adopt_successor(*pred);
+      }
+      // Refresh the successor list with the successor's own chain.
+      std::vector<NodeId> fresh{successor()};
+      for (const auto& entry : split(field("succs"), ',')) {
+        const auto id = NodeId::parse(trim(entry));
+        if (!id || *id == engine().self()) continue;
+        bool duplicate = false;
+        for (const auto& existing : fresh) duplicate |= existing == *id;
+        if (!duplicate) fresh.push_back(*id);
+        if (fresh.size() >= kSuccessorListLen) break;
+      }
+      successors_ = std::move(fresh);
+      engine().send(
+          Msg::control(kNotify, engine().self(), kControlApp), successor());
+      return Disposition::kDone;
+    }
+
+    case kNotify: {
+      const NodeId candidate = m->origin();
+      if (!predecessor_.valid() ||
+          in_ring_oo(hash_node(candidate), hash_node(predecessor_), id_)) {
+        predecessor_ = candidate;
+      }
+      return Disposition::kDone;
+    }
+
+    case kPut: {
+      const std::string key = field("key");
+      if (key.empty() || !ttl_ok()) return Disposition::kDone;
+      route_towards(hash_bytes(key), m);
+      return Disposition::kDone;
+    }
+
+    case kGet: {
+      const std::string key = field("key");
+      if (key.empty() || !ttl_ok()) return Disposition::kDone;
+      route_towards(hash_bytes(key), m);
+      return Disposition::kDone;
+    }
+
+    case kValue: {
+      GetResult result;
+      result.request =
+          static_cast<u32>(std::strtoul(field("req").c_str(), nullptr, 10));
+      result.found = field("found") == "1";
+      result.value = field("value");
+      gets_.push_back(std::move(result));
+      return Disposition::kDone;
+    }
+
+    default:
+      return Disposition::kDone;
+  }
+}
+
+// Handles kPut/kGet at each hop: consume if owned, else forward with a
+// decremented TTL.
+void ChordAlgorithm::route_towards(u64 key, const MsgPtr& m) {
+  auto fields = parse_fields(m->param_text());
+  if (owns(key)) {
+    if (m->type() == kPut) {
+      store_[fields["key"]] = fields["value"];
+    } else {
+      const auto reply = NodeId::parse(fields["reply"]);
+      if (!reply) return;
+      const auto it = store_.find(fields["key"]);
+      const std::string text = "key=" + fields["key"] +
+                               "|req=" + fields["req"] +
+                               "|found=" + (it != store_.end() ? "1" : "0") +
+                               "|value=" +
+                               (it != store_.end() ? it->second : "");
+      engine().send(
+          Msg::control(kValue, engine().self(), kControlApp, 0, 0, text),
+          *reply);
+    }
+    return;
+  }
+  const long long ttl = std::strtoll(fields["ttl"].c_str(), nullptr, 10);
+  fields["ttl"] = strf("%lld", ttl - 1);
+  std::string text;
+  for (const auto& [k, v] : fields) {
+    if (!text.empty()) text += '|';
+    text += k + "=" + v;
+  }
+  const NodeId next = in_ring_oc(key, id_, hash_node(successor()))
+                          ? successor()
+                          : closest_preceding(key);
+  if (next == engine().self()) return;  // nowhere to go yet
+  engine().send(Msg::control(m->type(), m->origin(), kControlApp, 0, 0, text),
+                next);
+}
+
+void ChordAlgorithm::adopt_successor(const NodeId& candidate) {
+  if (!candidate.valid() || candidate == engine().self()) return;
+  if (successors_.empty()) {
+    successors_.push_back(candidate);
+  } else {
+    successors_.front() = candidate;
+  }
+}
+
+void ChordAlgorithm::stabilize() {
+  if (successor() == engine().self()) {
+    // The bootstrap node: once somebody notifies us (becoming our
+    // predecessor), it is also our best successor candidate — this is
+    // how the first edge of the ring closes.
+    if (predecessor_.valid() && predecessor_ != engine().self()) {
+      adopt_successor(predecessor_);
+    } else {
+      return;
+    }
+  }
+  engine().send(Msg::control(kGetPred, engine().self(), kControlApp),
+                successor());
+}
+
+void ChordAlgorithm::fix_next_finger() {
+  if (successor() == engine().self()) return;
+  const std::size_t i = next_finger_;
+  next_finger_ = (next_finger_ + 1) % kFingers;
+  const u64 target = id_ + (i == 63 ? (1ULL << 63) : (1ULL << i));
+  route_find(target, kFingerRequestBase + static_cast<u32>(i),
+             engine().self(), 0);
+}
+
+void ChordAlgorithm::on_timer(i32 timer_id) {
+  if (timer_id == kStabilizeTimer) {
+    stabilize();
+    engine().set_timer(kStabilizePeriod, kStabilizeTimer);
+  } else if (timer_id == kFingerTimer) {
+    fix_next_finger();
+    engine().set_timer(kFingerPeriod, kFingerTimer);
+  }
+}
+
+void ChordAlgorithm::drop_node(const NodeId& peer) {
+  if (predecessor_ == peer) predecessor_ = NodeId();
+  for (auto& finger : fingers_) {
+    if (finger == peer) finger = NodeId();
+  }
+  std::erase(successors_, peer);
+  if (successors_.empty()) successors_.push_back(engine().self());
+}
+
+void ChordAlgorithm::on_broken_link(const NodeId& peer) { drop_node(peer); }
+
+void ChordAlgorithm::on_control(const MsgPtr& m) {
+  switch (m->param(0)) {
+    case kOpJoin: {
+      if (const auto known = NodeId::parse(trim(m->param_text()))) {
+        join(*known);
+      }
+      return;
+    }
+    case kOpPut: {
+      // text = "<key>|<value>"
+      const auto parts = split(m->param_text(), '|');
+      if (parts.size() == 2) put(parts[0], parts[1]);
+      return;
+    }
+    case kOpGet:
+      get(trim(m->param_text()), static_cast<u32>(m->param(1)));
+      return;
+    default:
+      return;
+  }
+}
+
+std::string ChordAlgorithm::status() const {
+  std::size_t gets_found = 0;
+  for (const auto& g : gets_) gets_found += g.found ? 1 : 0;
+  return strf("chord id=%llx succ=%s pred=%s keys=%zu gets=%zu/%zu",
+              (unsigned long long)id_, successor().to_string().c_str(),
+              predecessor_.to_string().c_str(), store_.size(), gets_found,
+              gets_.size());
+}
+
+}  // namespace iov::dht

@@ -1,0 +1,131 @@
+// A Chord-style structured search overlay (Stoica et al., SIGCOMM'01) as
+// an iOverlay algorithm — the paper's opening example of what overlay
+// research builds ("structured search protocols such as Pastry and
+// Chord"), and a demonstration that iAlgorithm accommodates DHTs (§4's
+// comparison with Macedon makes exactly this claim).
+//
+// Identifier space: the full 64-bit ring; node ids and keys are
+// splitmix64 hashes. Each node keeps a predecessor, a successor list
+// (for failure healing), and a 64-entry finger table maintained by the
+// classic periodic trio — stabilize / notify / fix-fingers — driven by
+// engine timers, so the whole protocol stays message-driven and
+// lock-free like every other iOverlay algorithm.
+//
+// find_successor routing is recursive: each hop forwards toward the
+// closest preceding finger, and the terminal node answers the requester
+// directly. A minimal key-value store rides on top (kPut/kGet routed the
+// same way) — the "global storage systems that respond to queries" of
+// the paper's application layer.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithm/algorithm.h"
+
+namespace iov::dht {
+
+/// Protocol message types.
+constexpr MsgType kFindSucc = static_cast<MsgType>(0x0331);
+constexpr MsgType kSuccIs = static_cast<MsgType>(0x0332);
+constexpr MsgType kGetPred = static_cast<MsgType>(0x0333);
+constexpr MsgType kPredIs = static_cast<MsgType>(0x0334);
+constexpr MsgType kNotify = static_cast<MsgType>(0x0335);
+constexpr MsgType kPut = static_cast<MsgType>(0x0336);
+constexpr MsgType kGet = static_cast<MsgType>(0x0337);
+constexpr MsgType kValue = static_cast<MsgType>(0x0338);
+
+/// splitmix64 of a byte string / node address — the ring hash.
+u64 hash_bytes(std::string_view bytes);
+u64 hash_node(const NodeId& id);
+
+/// True iff x lies in the half-open ring interval (a, b] (wrapping).
+bool in_ring_oc(u64 x, u64 a, u64 b);
+/// True iff x lies in the open ring interval (a, b) (wrapping).
+bool in_ring_oo(u64 x, u64 a, u64 b);
+
+class ChordAlgorithm : public Algorithm {
+ public:
+  ChordAlgorithm() = default;
+
+  /// Observer-control opcodes (kControl param0): the DHT can be driven
+  /// entirely from the observer's console. kOpGet uses param1 as the
+  /// request id.
+  enum ControlOp : i32 { kOpJoin = 1, kOpPut = 2, kOpGet = 3 };
+
+  /// This node's ring identifier (valid after on_start).
+  u64 id() const { return id_; }
+  NodeId successor() const;
+  NodeId predecessor() const { return predecessor_; }
+  const std::vector<NodeId>& successor_list() const { return successors_; }
+
+  /// Joins the ring through `known` (any member). A node with no join
+  /// call forms a one-node ring.
+  void join(const NodeId& known);
+
+  /// Asynchronously resolves the owner of `key`; the answer lands in
+  /// lookups() (and on_lookup for subclasses).
+  void lookup(u64 key, u32 request);
+
+  /// Stores / retrieves through the ring.
+  void put(std::string_view key, std::string_view value);
+  void get(std::string_view key, u32 request);
+
+  struct LookupResult {
+    u32 request = 0;
+    u64 key = 0;
+    NodeId owner;
+    u32 hops = 0;
+  };
+  struct GetResult {
+    u32 request = 0;
+    bool found = false;
+    std::string value;
+  };
+  const std::vector<LookupResult>& lookups() const { return lookups_; }
+  const std::vector<GetResult>& gets() const { return gets_; }
+
+  /// Keys stored at this node (the keyspace it owns).
+  std::size_t stored_keys() const { return store_.size(); }
+
+  void on_start() override;
+  std::string status() const override;
+
+ protected:
+  Disposition on_user(const MsgPtr& m) override;
+  void on_timer(i32 timer_id) override;
+  void on_broken_link(const NodeId& peer) override;
+  void on_control(const MsgPtr& m) override;
+
+  /// Subclass hook invoked when a lookup completes.
+  virtual void on_lookup(const LookupResult& result) { (void)result; }
+
+ private:
+  static constexpr std::size_t kFingers = 64;
+  static constexpr std::size_t kSuccessorListLen = 4;
+
+  void route_find(u64 key, u32 request, const NodeId& reply_to,
+                  u32 hops, int ttl = 128);
+  void route_towards(u64 key, const MsgPtr& m);
+  NodeId closest_preceding(u64 key) const;
+  bool owns(u64 key) const;
+  void stabilize();
+  void fix_next_finger();
+  void adopt_successor(const NodeId& candidate);
+  void drop_node(const NodeId& peer);
+
+  u64 id_ = 0;
+  NodeId predecessor_;
+  std::vector<NodeId> successors_;  // [0] is THE successor; self if alone
+  std::array<NodeId, kFingers> fingers_{};
+  std::size_t next_finger_ = 0;
+
+  std::map<std::string, std::string> store_;
+  std::vector<LookupResult> lookups_;
+  std::vector<GetResult> gets_;
+};
+
+}  // namespace iov::dht

@@ -1,0 +1,122 @@
+#include "engine/peer_link.h"
+
+#include "common/logging.h"
+
+namespace iov::engine {
+
+bool InterruptibleSleeper::sleep(Duration d) {
+  if (d <= 0) return true;
+  std::unique_lock<std::mutex> lock(mu_);
+  return !cv_.wait_for(lock, std::chrono::nanoseconds(d),
+                       [&] { return interrupted_; });
+}
+
+void InterruptibleSleeper::interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.notify_all();
+}
+
+PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
+                   std::size_t recv_buf_msgs, std::size_t send_buf_msgs,
+                   BandwidthEmulator& bandwidth, const Clock& clock,
+                   InternalSink& sink)
+    : self_(self),
+      peer_(peer),
+      conn_(std::move(conn)),
+      bandwidth_(bandwidth),
+      clock_(clock),
+      sink_(sink),
+      recv_buffer_(recv_buf_msgs),
+      send_buffer_(send_buf_msgs) {}
+
+PeerLink::~PeerLink() {
+  stop();
+  join();
+}
+
+void PeerLink::start() {
+  receiver_ = std::thread([this] { receiver_main(); });
+  sender_ = std::thread([this] { sender_main(); });
+}
+
+void PeerLink::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  recv_buffer_.close();
+  send_buffer_.close();
+  recv_sleeper_.interrupt();
+  send_sleeper_.interrupt();
+  // Shutting down (not closing) the socket wakes any blocked read/write in
+  // the link threads without racing descriptor reuse.
+  conn_.shutdown_both();
+}
+
+void PeerLink::join() {
+  if (receiver_.joinable()) receiver_.join();
+  if (sender_.joinable()) sender_.join();
+}
+
+void PeerLink::receiver_main() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    MsgPtr m = read_msg(conn_);
+    if (!m) {
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        failed_.store(true, std::memory_order_relaxed);
+        sink_.post(Msg::control(MsgType::kPeerFailed, peer_, kControlApp));
+      }
+      return;
+    }
+
+    // Download-side bandwidth emulation: pace before the message becomes
+    // visible. While we sleep (or block on a full buffer below) the kernel
+    // receive window fills and TCP pushes back on the sender — exactly the
+    // "back pressure" of §2.4.
+    const Duration wait =
+        bandwidth_.acquire_recv(peer_, m->wire_size(), clock_.now());
+    if (!recv_sleeper_.sleep(wait)) return;
+    up_meter_.record(m->wire_size(), clock_.now());
+
+    if (m->type() == MsgType::kData) {
+      if (!recv_buffer_.push(std::move(m))) return;  // closed: teardown
+      sink_.wake();
+    } else {
+      // Protocol/control traffic bypasses the data buffers so it cannot be
+      // starved by a congested data plane.
+      sink_.post(std::move(m));
+    }
+  }
+}
+
+void PeerLink::sender_main() {
+  while (true) {
+    auto m = send_buffer_.pop();
+    if (!m) return;  // closed and drained
+    const Duration wait =
+        bandwidth_.acquire_send(peer_, (*m)->wire_size(), clock_.now());
+    if (!send_sleeper_.sleep(wait)) {
+      // Interrupted mid-teardown: account the remaining queue as lost.
+      down_meter_.record_loss((*m)->wire_size());
+      break;
+    }
+    if (!write_msg(conn_, **m)) {
+      down_meter_.record_loss((*m)->wire_size());
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        failed_.store(true, std::memory_order_relaxed);
+        sink_.post(Msg::control(MsgType::kSendFailed, peer_, kControlApp));
+      }
+      break;
+    }
+    down_meter_.record((*m)->wire_size(), clock_.now());
+    sink_.wake();  // switch may have been waiting for sender-buffer space
+  }
+  // Drain whatever remains so engine-side pushes never wedge, and count it
+  // as loss ("the number of bytes (or messages) lost due to failures").
+  while (auto rest = send_buffer_.try_pop()) {
+    down_meter_.record_loss((*rest)->wire_size());
+  }
+}
+
+}  // namespace iov::engine

@@ -1,0 +1,128 @@
+// PeerLink — one persistent connection to a peer node, with its receiver
+// thread, sender thread, buffers and meters (paper Fig. 4).
+//
+// The paper's engine is "thread-per-receiver and thread-per-sender ...
+// along with a separate engine thread"; because connections are
+// persistent and full duplex ("all the messages between two nodes are
+// carried with the same connection"), both threads share one TCP socket.
+//
+// Data-plane flow:
+//   receiver thread:  socket --read_msg--> [bandwidth recv pacing]
+//                     --> recv buffer (blocking push = back-pressure)
+//   engine thread:    recv buffer --switch/algorithm--> send buffer
+//   sender thread:    send buffer --pop--> [bandwidth send pacing]
+//                     --write_msg--> socket
+//
+// Control-plane messages received on the link (anything but kData) bypass
+// the buffers and are posted straight to the engine's internal sink —
+// the moral equivalent of the paper's trick of "passing application-layer
+// messages across thread boundaries via the publicized port". Failures
+// are reported the same way (kPeerFailed / kSendFailed).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/clock.h"
+#include "common/node_id.h"
+#include "message/msg.h"
+#include "net/bandwidth.h"
+#include "net/framing.h"
+#include "net/socket.h"
+#include "net/throughput.h"
+
+namespace iov::engine {
+
+/// Where link threads deposit messages for the engine thread.
+class InternalSink {
+ public:
+  virtual ~InternalSink() = default;
+  /// Enqueues a message for the engine thread and wakes it.
+  virtual void post(MsgPtr m) = 0;
+  /// Wakes the engine thread without a message (buffer state changed).
+  virtual void wake() = 0;
+};
+
+/// Sleep that a stop() can cut short, so tearing down a link never waits
+/// out a long bandwidth-pacing delay.
+class InterruptibleSleeper {
+ public:
+  /// Sleeps for `d` or until interrupt(); returns false if interrupted.
+  bool sleep(Duration d);
+  void interrupt();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool interrupted_ = false;
+};
+
+class PeerLink {
+ public:
+  /// Takes ownership of an established, hello-completed connection.
+  PeerLink(NodeId self, NodeId peer, TcpConn conn, std::size_t recv_buf_msgs,
+           std::size_t send_buf_msgs, BandwidthEmulator& bandwidth,
+           const Clock& clock, InternalSink& sink);
+  ~PeerLink();
+
+  PeerLink(const PeerLink&) = delete;
+  PeerLink& operator=(const PeerLink&) = delete;
+
+  /// Spawns the receiver and sender threads.
+  void start();
+
+  /// Initiates teardown: closes both buffers, shuts the socket down (which
+  /// unblocks both threads), and interrupts pacing sleeps. Idempotent;
+  /// safe from the engine thread.
+  void stop();
+
+  /// Joins both threads. Call after stop().
+  void join();
+
+  const NodeId& peer() const { return peer_; }
+
+  /// Receive buffer the engine's switch drains. Engine-thread consumers
+  /// should use try_pop().
+  BoundedQueue<MsgPtr>& recv_buffer() { return recv_buffer_; }
+  const BoundedQueue<MsgPtr>& recv_buffer() const { return recv_buffer_; }
+
+  /// Send buffer the switch fills (try_push from the engine thread).
+  BoundedQueue<MsgPtr>& send_buffer() { return send_buffer_; }
+  const BoundedQueue<MsgPtr>& send_buffer() const { return send_buffer_; }
+
+  const ThroughputMeter& up_meter() const { return up_meter_; }
+  const ThroughputMeter& down_meter() const { return down_meter_; }
+  ThroughputMeter& down_meter() { return down_meter_; }
+
+  /// True once either thread has observed a fatal socket error.
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+ private:
+  void receiver_main();
+  void sender_main();
+
+  const NodeId self_;
+  const NodeId peer_;
+  TcpConn conn_;
+  BandwidthEmulator& bandwidth_;
+  const Clock& clock_;
+  InternalSink& sink_;
+
+  BoundedQueue<MsgPtr> recv_buffer_;
+  BoundedQueue<MsgPtr> send_buffer_;
+  ThroughputMeter up_meter_;    // bytes received from peer
+  ThroughputMeter down_meter_;  // bytes sent to peer
+
+  InterruptibleSleeper recv_sleeper_;
+  InterruptibleSleeper send_sleeper_;
+
+  std::thread receiver_;
+  std::thread sender_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace iov::engine

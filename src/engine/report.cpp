@@ -1,0 +1,111 @@
+#include "engine/report.h"
+
+#include "common/strings.h"
+
+namespace iov::engine {
+
+namespace {
+
+std::string serialize_links(const std::vector<LinkReport>& links) {
+  std::string out;
+  for (const auto& l : links) {
+    if (!out.empty()) out += ';';
+    out += strf("%s,%.1f,%llu,%llu,%zu,%zu", l.peer.to_string().c_str(),
+                l.rate_bps, static_cast<unsigned long long>(l.total_bytes),
+                static_cast<unsigned long long>(l.lost_msgs), l.buffer_len,
+                l.buffer_cap);
+  }
+  return out;
+}
+
+bool parse_links(std::string_view text, std::vector<LinkReport>* out) {
+  if (trim(text).empty()) return true;
+  for (const auto& entry : split(text, ';')) {
+    const auto fields = split(entry, ',');
+    if (fields.size() != 6) return false;
+    LinkReport l;
+    const auto peer = NodeId::parse(fields[0]);
+    if (!peer) return false;
+    l.peer = *peer;
+    l.rate_bps = std::strtod(fields[1].c_str(), nullptr);
+    unsigned long long v = 0;
+    if (!parse_u64(fields[2], ~0ULL, &v)) return false;
+    l.total_bytes = v;
+    if (!parse_u64(fields[3], ~0ULL, &v)) return false;
+    l.lost_msgs = v;
+    if (!parse_u64(fields[4], ~0ULL, &v)) return false;
+    l.buffer_len = static_cast<std::size_t>(v);
+    if (!parse_u64(fields[5], ~0ULL, &v)) return false;
+    l.buffer_cap = static_cast<std::size_t>(v);
+    out->push_back(l);
+  }
+  return true;
+}
+
+std::string serialize_apps(const std::vector<u32>& apps) {
+  std::string out;
+  for (const u32 app : apps) {
+    if (!out.empty()) out += ';';
+    out += strf("%u", app);
+  }
+  return out;
+}
+
+bool parse_apps(std::string_view text, std::vector<u32>* out) {
+  if (trim(text).empty()) return true;
+  for (const auto& entry : split(text, ';')) {
+    unsigned long long v = 0;
+    if (!parse_u64(entry, 0xffffffffULL, &v)) return false;
+    out->push_back(static_cast<u32>(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string NodeReport::serialize() const {
+  std::string out;
+  out += "node=" + node.to_string() + '\n';
+  out += strf("uptime=%lld\n", static_cast<long long>(uptime));
+  out += "up=" + serialize_links(upstreams) + '\n';
+  out += "down=" + serialize_links(downstreams) + '\n';
+  out += "src=" + serialize_apps(source_apps) + '\n';
+  out += "joined=" + serialize_apps(joined_apps) + '\n';
+  out += "alg=" + algorithm_status + '\n';
+  return out;
+}
+
+std::optional<NodeReport> NodeReport::parse(std::string_view text) {
+  NodeReport r;
+  bool saw_node = false;
+  for (const auto& raw_line : split(text, '\n')) {
+    const auto line = trim(raw_line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const auto key = line.substr(0, eq);
+    const auto value = line.substr(eq + 1);
+    if (key == "node") {
+      const auto id = NodeId::parse(value);
+      if (!id) return std::nullopt;
+      r.node = *id;
+      saw_node = true;
+    } else if (key == "uptime") {
+      r.uptime = std::strtoll(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "up") {
+      if (!parse_links(value, &r.upstreams)) return std::nullopt;
+    } else if (key == "down") {
+      if (!parse_links(value, &r.downstreams)) return std::nullopt;
+    } else if (key == "src") {
+      if (!parse_apps(value, &r.source_apps)) return std::nullopt;
+    } else if (key == "joined") {
+      if (!parse_apps(value, &r.joined_apps)) return std::nullopt;
+    } else if (key == "alg") {
+      r.algorithm_status = std::string(value);
+    }
+  }
+  if (!saw_node) return std::nullopt;
+  return r;
+}
+
+}  // namespace iov::engine

@@ -1,0 +1,41 @@
+// The node status report — the payload of kReport messages that nodes
+// push to the observer every report interval (paper §2.2: "status
+// updates, which include lengths of all engine buffers, measurements of
+// QoS metrics, and the list of upstream and downstream nodes").
+//
+// Serialized as line-oriented text so reports remain greppable in the
+// observer's logs; both the engine and the observer use this codec.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/node_id.h"
+#include "common/types.h"
+
+namespace iov::engine {
+
+struct LinkReport {
+  NodeId peer;
+  double rate_bps = 0.0;
+  u64 total_bytes = 0;
+  u64 lost_msgs = 0;
+  std::size_t buffer_len = 0;
+  std::size_t buffer_cap = 0;
+};
+
+struct NodeReport {
+  NodeId node;
+  TimePoint uptime = 0;              ///< nanoseconds since engine start
+  std::vector<LinkReport> upstreams;
+  std::vector<LinkReport> downstreams;
+  std::vector<u32> source_apps;      ///< sessions this node sources
+  std::vector<u32> joined_apps;      ///< sessions consumed locally
+  std::string algorithm_status;      ///< Algorithm::status() line
+
+  std::string serialize() const;
+  static std::optional<NodeReport> parse(std::string_view text);
+};
+
+}  // namespace iov::engine

@@ -1,0 +1,437 @@
+#include "federation/federation_algorithm.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace iov::federation {
+
+namespace {
+
+constexpr i32 kAwareTtl = 8;
+
+/// kControl opcodes (param0) accepted at runtime.
+enum ControlOp : i32 { kOpHostService = 10, kOpFederate = 20 };
+
+std::map<std::string, std::string> parse_fields(std::string_view text,
+                                                char sep) {
+  std::map<std::string, std::string> out;
+  for (const auto& field : split(text, sep)) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    out[field.substr(0, eq)] = field.substr(eq + 1);
+  }
+  return out;
+}
+
+std::string serialize_mapping(const std::map<ServiceType, NodeId>& mapping) {
+  std::string out;
+  for (const auto& [t, id] : mapping) {
+    if (!out.empty()) out += ',';
+    out += strf("%u:", t) + id.to_string();
+  }
+  return out;
+}
+
+std::optional<std::map<ServiceType, NodeId>> parse_mapping(
+    std::string_view text) {
+  std::map<ServiceType, NodeId> out;
+  if (trim(text).empty()) return out;
+  for (const auto& entry : split(text, ',')) {
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    unsigned long long t = 0;
+    if (!parse_u64(std::string_view(entry).substr(0, colon), 0xffffffffULL,
+                   &t)) {
+      return std::nullopt;
+    }
+    const auto id = NodeId::parse(std::string_view(entry).substr(colon + 1));
+    if (!id) return std::nullopt;
+    out[static_cast<ServiceType>(t)] = *id;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* strategy_name(FederationStrategy s) {
+  switch (s) {
+    case FederationStrategy::kSFlow: return "sFlow";
+    case FederationStrategy::kFixed: return "fixed";
+    case FederationStrategy::kRandom: return "random";
+  }
+  return "?";
+}
+
+FederationAlgorithm::FederationAlgorithm(FederationStrategy strategy,
+                                         ServiceGraph universe,
+                                         double capacity)
+    : strategy_(strategy), universe_(std::move(universe)),
+      capacity_(capacity) {}
+
+void FederationAlgorithm::on_start() {
+  for (const auto t : hosted_) disseminate_aware(t);
+}
+
+void FederationAlgorithm::host_service(ServiceType t) {
+  if (!hosted_.insert(t).second) return;
+  disseminate_aware(t);
+}
+
+void FederationAlgorithm::disseminate_aware(ServiceType t) {
+  ++aware_version_;
+  const std::string body =
+      strf("cap=%.0f;load=%zu;ttl=%d", capacity_, load_, kAwareTtl);
+  const auto m = Msg::control(kSAware, engine().self(), kControlApp,
+                              static_cast<i32>(t),
+                              static_cast<i32>(aware_version_), body);
+  // "disseminates its existence to all its known hosts via the sAware
+  // message" (§3.4).
+  for (const auto& host : known_hosts().all()) {
+    engine().send(m->clone(), host);
+  }
+}
+
+void FederationAlgorithm::handle_aware(const MsgPtr& m) {
+  const auto t = static_cast<ServiceType>(m->param(0));
+  const auto version = static_cast<u32>(m->param(1));
+  const NodeId origin = m->origin();
+  if (origin == engine().self()) return;
+
+  const auto fields = parse_fields(m->param_text(), ';');
+  AwareInfo info;
+  info.capacity = std::strtod(fields.count("cap") ? fields.at("cap").c_str()
+                                                  : "0", nullptr);
+  unsigned long long v = 0;
+  if (fields.count("load")) parse_u64(fields.at("load"), 1u << 30, &v);
+  info.load = static_cast<u32>(v);
+  info.version = version;
+  long long ttl = 0;
+  if (fields.count("ttl")) {
+    ttl = std::strtoll(fields.at("ttl").c_str(), nullptr, 10);
+  }
+
+  const auto key = std::make_pair(origin, t);
+  const auto seen = aware_seen_.find(key);
+  if (seen != aware_seen_.end() && seen->second >= version) return;
+  aware_seen_[key] = version;
+  registry_[t][origin] = info;
+
+  if (ttl <= 0) return;
+  const std::string body = strf("cap=%.0f;load=%u;ttl=%lld", info.capacity,
+                                info.load, ttl - 1);
+  const auto relay = Msg::control(kSAware, origin, kControlApp,
+                                  static_cast<i32>(t),
+                                  static_cast<i32>(version), body);
+  if (hosted_.empty()) {
+    // Not a service node: keep the random walk going (§3.4 "the message
+    // is further relayed until an existing service node is reached").
+    for (const auto& host : known_hosts().sample(3, engine().rng())) {
+      if (host != origin) {
+        engine().send(relay, host);
+        break;
+      }
+    }
+    return;
+  }
+  // A service node forwards the announcement to the known instances of
+  // the new service's neighbour types in the universe graph ("the direct
+  // upstream and downstream nodes of the new service in its service
+  // graph").
+  std::set<NodeId> targets;
+  const auto neighbours = [&](const std::vector<ServiceType>& types) {
+    for (const auto nt : types) {
+      const auto it = registry_.find(nt);
+      if (it == registry_.end()) continue;
+      for (const auto& [id, ignored] : it->second) targets.insert(id);
+    }
+  };
+  neighbours(universe_.successors(t));
+  neighbours(universe_.predecessors(t));
+  targets.erase(origin);
+  targets.erase(engine().self());
+  for (const auto& target : targets) engine().send(relay->clone(), target);
+}
+
+std::vector<NodeId> FederationAlgorithm::instances_of(ServiceType t) const {
+  std::vector<NodeId> out;
+  const auto it = registry_.find(t);
+  if (it != registry_.end()) {
+    for (const auto& [id, info] : it->second) out.push_back(id);
+  }
+  if (hosted_.count(t) > 0) out.push_back(engine().self());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NodeId FederationAlgorithm::pick_instance(ServiceType t) {
+  struct Candidate {
+    NodeId id;
+    double capacity;
+    u32 load;
+  };
+  std::vector<Candidate> candidates;
+  const auto it = registry_.find(t);
+  if (it != registry_.end()) {
+    for (const auto& [id, info] : it->second) {
+      candidates.push_back({id, info.capacity, info.load});
+    }
+  }
+  if (hosted_.count(t) > 0) {
+    candidates.push_back(
+        {engine().self(), capacity_, static_cast<u32>(load_)});
+  }
+  if (candidates.empty()) return NodeId();
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
+
+  // "Available bandwidth to the corresponding downstream service": the
+  // path from here to the candidate is capped by both the measured
+  // point-to-point bandwidth and the candidate's own last mile.
+  const auto path_capacity = [&](const Candidate& c) {
+    if (c.id == engine().self()) return c.capacity;
+    const auto it = path_bw_.find(c.id);
+    const double pair_bw =
+        it == path_bw_.end() ? c.capacity : it->second;
+    return std::min(pair_bw, c.capacity);
+  };
+
+  switch (strategy_) {
+    case FederationStrategy::kRandom:
+      return candidates[engine().rng().below(candidates.size())].id;
+    case FederationStrategy::kFixed: {
+      // Highest static path bandwidth, blind to current load.
+      const auto best = std::max_element(
+          candidates.begin(), candidates.end(),
+          [&](const Candidate& a, const Candidate& b) {
+            return path_capacity(a) < path_capacity(b);
+          });
+      return best->id;
+    }
+    case FederationStrategy::kSFlow: {
+      // Most bandwidth-efficient: residual path bandwidth given the
+      // sessions already assigned to the candidate.
+      const auto score = [&](const Candidate& c) {
+        return path_capacity(c) / (1.0 + static_cast<double>(c.load));
+      };
+      const auto best = std::max_element(
+          candidates.begin(), candidates.end(),
+          [&](const Candidate& a, const Candidate& b) {
+            return score(a) < score(b);
+          });
+      return best->id;
+    }
+  }
+  return NodeId();
+}
+
+void FederationAlgorithm::federate(u32 request,
+                                   const ServiceGraph& requirement) {
+  const std::string text = strf("req=%u|origin=", request) +
+                           engine().self().to_string() + "|graph=" +
+                           requirement.serialize() + "|map=";
+  const auto m = Msg::control(kSFederate, engine().self(), kControlApp,
+                              static_cast<i32>(request), 0, text);
+  engine().send(m, engine().self());
+}
+
+void FederationAlgorithm::fail_request(u32 request, const NodeId& origin) {
+  if (origin == engine().self()) {
+    results_.push_back(FederationResult{request, false, {}});
+    return;
+  }
+  engine().send(Msg::control(kSFederateAck, engine().self(), kControlApp,
+                             static_cast<i32>(request), 0,
+                             strf("req=%u|ok=0|map=", request)),
+                origin);
+}
+
+void FederationAlgorithm::finalize_request(
+    u32 request, const NodeId& origin, const ServiceGraph& graph,
+    const std::map<ServiceType, NodeId>& mapping) {
+  const std::string text = strf("req=%u|graph=", request) +
+                           graph.serialize() + "|map=" +
+                           serialize_mapping(mapping);
+  std::set<NodeId> instances;
+  for (const auto& [t, id] : mapping) instances.insert(id);
+  for (const auto& id : instances) {
+    const auto path = Msg::control(kSPath, engine().self(), kControlApp,
+                                   static_cast<i32>(request), 0, text);
+    engine().send(path, id);  // self-sends loop back through the engine
+  }
+
+  const std::string ack_text = strf("req=%u|ok=1|map=", request) +
+                               serialize_mapping(mapping);
+  if (origin == engine().self()) {
+    results_.push_back(FederationResult{request, true, mapping});
+  } else {
+    engine().send(Msg::control(kSFederateAck, engine().self(), kControlApp,
+                               static_cast<i32>(request), 1, ack_text),
+                  origin);
+  }
+}
+
+void FederationAlgorithm::handle_federate(const MsgPtr& m) {
+  const auto fields = parse_fields(m->param_text(), '|');
+  if (!fields.count("req") || !fields.count("origin") ||
+      !fields.count("graph") || !fields.count("map")) {
+    return;
+  }
+  unsigned long long req = 0;
+  if (!parse_u64(fields.at("req"), 0xffffffffULL, &req)) return;
+  const auto origin = NodeId::parse(fields.at("origin"));
+  const auto graph = ServiceGraph::parse(fields.at("graph"));
+  auto mapping = parse_mapping(fields.at("map"));
+  if (!origin || !graph || !mapping) return;
+  const auto request = static_cast<u32>(req);
+
+  // First unassigned type in topological order.
+  ServiceType next = 0;
+  bool found = false;
+  for (const auto t : graph->types()) {
+    if (mapping->count(t) == 0) {
+      next = t;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;  // fully assigned copy; nothing to do
+
+  // The designated source service node assigns itself to the source type
+  // (§3.4: the requirement is "specified in a sFederate message to the
+  // designated source service node").
+  NodeId chosen;
+  if (next == graph->source() && hosted_.count(next) > 0) {
+    chosen = engine().self();
+  } else {
+    chosen = pick_instance(next);
+  }
+  if (!chosen.valid()) {
+    fail_request(request, *origin);
+    return;
+  }
+  (*mapping)[next] = chosen;
+  // Optimistic local load accounting: the chosen instance is about to
+  // carry one more session. Bumping our registry immediately keeps
+  // back-to-back selections from piling onto the same instance before
+  // its sAware refresh propagates.
+  if (chosen != engine().self()) {
+    const auto reg_it = registry_.find(next);
+    if (reg_it != registry_.end()) {
+      const auto inst_it = reg_it->second.find(chosen);
+      if (inst_it != reg_it->second.end()) inst_it->second.load += 1;
+    }
+  }
+
+  if (next == graph->sink()) {
+    finalize_request(request, *origin, *graph, *mapping);
+    return;
+  }
+  const std::string text = strf("req=%u|origin=", request) +
+                           origin->to_string() + "|graph=" +
+                           graph->serialize() + "|map=" +
+                           serialize_mapping(*mapping);
+  engine().send(Msg::control(kSFederate, engine().self(), kControlApp,
+                             static_cast<i32>(request), 0, text),
+                chosen);
+}
+
+void FederationAlgorithm::handle_path(const MsgPtr& m) {
+  const auto fields = parse_fields(m->param_text(), '|');
+  if (!fields.count("req") || !fields.count("graph") || !fields.count("map")) {
+    return;
+  }
+  unsigned long long req = 0;
+  if (!parse_u64(fields.at("req"), 0xffffffffULL, &req)) return;
+  const auto graph = ServiceGraph::parse(fields.at("graph"));
+  const auto mapping = parse_mapping(fields.at("map"));
+  if (!graph || !mapping) return;
+  const auto request = static_cast<u32>(req);
+  if (paths_.count(request) > 0) return;
+
+  paths_[request] = PathRecord{*graph, *mapping};
+  ++load_;
+  // Load changed: refresh our advertisements so future sFlow selections
+  // see it.
+  for (const auto t : hosted_) disseminate_aware(t);
+}
+
+void FederationAlgorithm::handle_ack(const MsgPtr& m) {
+  const auto fields = parse_fields(m->param_text(), '|');
+  if (!fields.count("req")) return;
+  unsigned long long req = 0;
+  if (!parse_u64(fields.at("req"), 0xffffffffULL, &req)) return;
+  FederationResult result;
+  result.request = static_cast<u32>(req);
+  result.ok = m->param(1) != 0;
+  if (fields.count("map")) {
+    if (const auto mapping = parse_mapping(fields.at("map"))) {
+      result.mapping = *mapping;
+    }
+  }
+  results_.push_back(std::move(result));
+}
+
+std::optional<std::map<ServiceType, NodeId>> FederationAlgorithm::path_of(
+    u32 request) const {
+  const auto it = paths_.find(request);
+  if (it == paths_.end()) return std::nullopt;
+  return it->second.mapping;
+}
+
+Disposition FederationAlgorithm::on_data(const MsgPtr& m) {
+  const auto it = paths_.find(m->app());
+  if (it == paths_.end()) return Disposition::kDone;
+  const PathRecord& record = it->second;
+
+  std::set<NodeId> targets;
+  for (const auto& [t, instance] : record.mapping) {
+    if (instance != engine().self()) continue;
+    if (t == record.graph.sink()) engine().deliver_local(m);
+    for (const auto succ : record.graph.successors(t)) {
+      const auto succ_it = record.mapping.find(succ);
+      if (succ_it != record.mapping.end() &&
+          succ_it->second != engine().self()) {
+        targets.insert(succ_it->second);
+      }
+    }
+  }
+  for (const auto& target : targets) engine().send(m, target);
+  return Disposition::kDone;
+}
+
+Disposition FederationAlgorithm::on_user(const MsgPtr& m) {
+  switch (m->type()) {
+    case kSAware: handle_aware(m); break;
+    case kSFederate: handle_federate(m); break;
+    case kSFederateAck: handle_ack(m); break;
+    case kSPath: handle_path(m); break;
+    default: break;
+  }
+  return Disposition::kDone;
+}
+
+void FederationAlgorithm::on_control(const MsgPtr& m) {
+  switch (m->param(0)) {
+    case kOpHostService:
+      host_service(static_cast<ServiceType>(m->param(1)));
+      return;
+    case kOpFederate: {
+      const auto graph = ServiceGraph::parse(m->param_text());
+      if (graph) federate(static_cast<u32>(m->param(1)), *graph);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::string FederationAlgorithm::status() const {
+  return strf("%s hosted=%zu known_types=%zu load=%zu done=%zu",
+              strategy_name(strategy_), hosted_.size(), registry_.size(),
+              load_, results_.size());
+}
+
+}  // namespace iov::federation

@@ -1,0 +1,152 @@
+// Service federation in service overlay networks — the sFlow case study
+// (paper §3.4) and its two controls.
+//
+// Every node may host service instances (types from a shared
+// producer-consumer universe graph). The protocol:
+//
+//   sAware     a node that establishes a service disseminates its
+//              existence (type, capacity, current load) to known hosts;
+//              non-service nodes relay the message on a TTL-bounded
+//              random walk; service nodes record it and forward it to
+//              the known instances of the new service's neighbour types
+//              in the universe graph;
+//   sFederate  carries a ServiceGraph requirement plus the partial
+//              type->instance mapping; each holder assigns the next
+//              unassigned type (topological order) using its local
+//              strategy and forwards the message to the chosen instance;
+//   sPath      sent by the final assignee to every selected instance so
+//              the data plane knows its successors; recipients bump
+//              their advertised load and re-disseminate sAware;
+//   sFederateAck reports the completed (or failed) mapping back to the
+//              designated source service node.
+//
+// Selection strategies (paper §3.4):
+//   * sFlow  — most bandwidth-efficient candidate: highest residual
+//     capacity estimate capacity/(1+load). (The paper measures
+//     point-to-point throughput with iOverlay probes; the advertised
+//     residual is this repo's deterministic stand-in — see DESIGN.md.)
+//   * fixed  — highest raw capacity, ignoring load;
+//   * random — uniformly random known instance.
+//
+// The data plane forwards each request's stream along the requirement's
+// DAG edges over the selected instances; the sink instance delivers
+// locally.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "algorithm/algorithm.h"
+#include "federation/service_graph.h"
+
+namespace iov::federation {
+
+/// Protocol message types.
+constexpr MsgType kSAware = static_cast<MsgType>(0x0311);
+constexpr MsgType kSFederate = static_cast<MsgType>(0x0312);
+constexpr MsgType kSFederateAck = static_cast<MsgType>(0x0313);
+constexpr MsgType kSPath = static_cast<MsgType>(0x0314);
+
+enum class FederationStrategy { kSFlow, kFixed, kRandom };
+
+const char* strategy_name(FederationStrategy s);
+
+/// Outcome of one federation request, collected at the designated source
+/// service node.
+struct FederationResult {
+  u32 request = 0;
+  bool ok = false;
+  std::map<ServiceType, NodeId> mapping;
+};
+
+class FederationAlgorithm : public Algorithm {
+ public:
+  /// `universe` is the global producer-consumer graph over service
+  /// types; `capacity` this node's advertised bandwidth (bytes/s),
+  /// normally equal to its emulated uplink cap.
+  FederationAlgorithm(FederationStrategy strategy, ServiceGraph universe,
+                      double capacity);
+
+  /// Establishes a service instance of `t` on this node and disseminates
+  /// sAware (paper: the observer's sAssign). Callable before or after
+  /// start.
+  void host_service(ServiceType t);
+
+  /// Starts a federation session for `requirement` with request id
+  /// `request` — this node is the "designated source service node" and
+  /// must host the requirement's source type. The outcome arrives in
+  /// results().
+  void federate(u32 request, const ServiceGraph& requirement);
+
+  const std::vector<FederationResult>& results() const { return results_; }
+
+  /// Known instances of `t` (learned via sAware; self included if
+  /// hosting).
+  std::vector<NodeId> instances_of(ServiceType t) const;
+
+  /// Current number of federated sessions flowing through this node.
+  std::size_t load() const { return load_; }
+
+  /// Records the measured point-to-point bandwidth from this node to
+  /// `peer` (bytes/s). The paper's sFlow "takes advantage of iOverlay's
+  /// feature that measures point-to-point throughput to selected known
+  /// hosts"; on the simulated substrate the scenario driver injects the
+  /// emulated per-pair path capacity here (see DESIGN.md substitutions).
+  void set_path_bandwidth(const NodeId& peer, double bytes_per_sec) {
+    path_bw_[peer] = bytes_per_sec;
+  }
+
+  std::set<ServiceType> hosted() const { return hosted_; }
+
+  /// The stored mapping for `request` if this node is part of it.
+  std::optional<std::map<ServiceType, NodeId>> path_of(u32 request) const;
+
+  void on_start() override;
+  std::string status() const override;
+
+ protected:
+  Disposition on_data(const MsgPtr& m) override;
+  Disposition on_user(const MsgPtr& m) override;
+  void on_control(const MsgPtr& m) override;
+
+ private:
+  struct AwareInfo {
+    double capacity = 0.0;
+    u32 load = 0;
+    u32 version = 0;
+  };
+  struct PathRecord {
+    ServiceGraph graph;
+    std::map<ServiceType, NodeId> mapping;
+  };
+
+  void disseminate_aware(ServiceType t);
+  void handle_aware(const MsgPtr& m);
+  void handle_federate(const MsgPtr& m);
+  void handle_path(const MsgPtr& m);
+  void handle_ack(const MsgPtr& m);
+  NodeId pick_instance(ServiceType t);
+  void fail_request(u32 request, const NodeId& origin);
+  void finalize_request(u32 request, const NodeId& origin,
+                        const ServiceGraph& graph,
+                        const std::map<ServiceType, NodeId>& mapping);
+
+  const FederationStrategy strategy_;
+  const ServiceGraph universe_;
+  const double capacity_;
+
+  std::set<ServiceType> hosted_;
+  std::size_t load_ = 0;
+  u32 aware_version_ = 0;
+  // type -> instance -> info
+  std::map<ServiceType, std::map<NodeId, AwareInfo>> registry_;
+  // (origin, type) -> highest version seen, for flood dedup
+  std::map<std::pair<NodeId, ServiceType>, u32> aware_seen_;
+  std::map<NodeId, double> path_bw_;  // measured path capacity to peers
+  std::map<u32, PathRecord> paths_;
+  std::vector<FederationResult> results_;
+};
+
+}  // namespace iov::federation

@@ -1,0 +1,299 @@
+#include "federation/scenario.h"
+
+#include <algorithm>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+
+namespace iov::federation {
+
+namespace {
+
+constexpr Duration kTimelineBin = seconds(60.0);
+constexpr u32 kFirstRequestId = 1000;
+
+/// kControl opcodes of FederationAlgorithm (kept in sync with the .cpp).
+constexpr i32 kOpHostService = 10;
+constexpr i32 kOpFederate = 20;
+
+struct Node {
+  sim::SimEngine* engine = nullptr;
+  FederationAlgorithm* algorithm = nullptr;
+  double capacity = 0.0;
+  ServiceType service = 0;
+};
+
+struct PendingRequest {
+  u32 id = 0;
+  std::size_t designated = 0;  // index into nodes
+  ServiceGraph requirement;
+  bool acked = false;
+  bool ok = false;
+  std::map<ServiceType, NodeId> mapping;
+  std::shared_ptr<apps::SinkApp> sink;
+  TimePoint deployed_at = -1;
+  TimePoint stopped_at = -1;
+};
+
+}  // namespace
+
+double FederationScenarioResult::mean_goodput_ok() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : requests) {
+    if (r.ok) {
+      sum += r.goodput;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double FederationScenarioResult::completion_rate() const {
+  std::size_t done = 0;
+  for (const auto& r : requests) done += r.completed ? 1 : 0;
+  return requests.empty()
+             ? 0.0
+             : static_cast<double>(done) / static_cast<double>(requests.size());
+}
+
+FederationScenarioResult run_federation_scenario(
+    const FederationScenarioConfig& config) {
+  sim::SimNet::Config net_config;
+  net_config.seed = config.seed;
+  sim::SimNet net(net_config);
+  Rng rng(config.seed * 0x9e37 + 17);
+
+  // The universe graph: chain over the whole type space.
+  std::vector<ServiceType> all_types;
+  for (ServiceType t = 1; t <= config.universe_types; ++t) {
+    all_types.push_back(t);
+  }
+  const ServiceGraph universe = ServiceGraph::chain(all_types);
+
+  // Build nodes with heterogeneous capacity; each will host one type so
+  // every type has at least one instance when nodes >= universe_types.
+  std::vector<Node> nodes;
+  nodes.reserve(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    Node n;
+    n.capacity = rng.uniform(config.cap_lo, config.cap_hi);
+    n.service = static_cast<ServiceType>(i % config.universe_types) + 1;
+    auto algorithm = std::make_unique<FederationAlgorithm>(
+        config.strategy, universe, n.capacity);
+    n.algorithm = algorithm.get();
+    sim::SimNodeConfig node_config;
+    node_config.bandwidth.node_up = n.capacity;
+    n.engine = &net.add_node(std::move(algorithm), node_config);
+    nodes.push_back(n);
+  }
+
+  // Wide-area latencies and per-pair path bandwidths.
+  for (const auto& a : nodes) {
+    for (const auto& b : nodes) {
+      if (a.engine == b.engine) continue;
+      net.set_latency(a.engine->self(), b.engine->self(),
+                      rng.uniform_int(config.latency_lo, config.latency_hi));
+      if (config.heterogeneous_links) {
+        const double link_lo =
+            config.link_lo > 0 ? config.link_lo : config.cap_lo;
+        const double link_hi =
+            config.link_hi > 0 ? config.link_hi : config.cap_hi;
+        const double pair_bw = rng.uniform(link_lo, link_hi);
+        a.engine->bandwidth().set_link_up(b.engine->self(), pair_bw);
+        a.algorithm->set_path_bandwidth(b.engine->self(), pair_bw);
+      }
+    }
+  }
+
+  for (const auto& n : nodes) {
+    net.bootstrap(n.engine->self(), config.bootstrap_subset);
+  }
+  net.run_for(millis(100));
+
+  // Action timeline.
+  struct Action {
+    TimePoint at;
+    bool is_service;  // else request
+    std::size_t index;
+  };
+  std::vector<Action> actions;
+  TimePoint t = net.now() + millis(100);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    actions.push_back({t, true, i});
+    t += config.service_interval;
+  }
+  TimePoint requests_start = t + seconds(2.0);  // let sAware settle
+  std::vector<PendingRequest> pending;
+  for (std::size_t r = 0; r < config.requests; ++r) {
+    actions.push_back({requests_start, false, r});
+    requests_start += config.request_interval;
+  }
+  std::sort(actions.begin(), actions.end(),
+            [](const Action& a, const Action& b) {
+              return std::tie(a.at, a.is_service, a.index) <
+                     std::tie(b.at, b.is_service, b.index);
+            });
+  const TimePoint end_time =
+      (actions.empty() ? net.now() : actions.back().at) + config.tail;
+
+  // Timeline sampling state (Fig 16).
+  std::vector<double> aware_samples;  // cumulative bytes at bin edges
+  TimePoint next_sample = 0;
+  const auto sample_timeline = [&] {
+    while (net.now() >= next_sample) {
+      aware_samples.push_back(
+          static_cast<double>(net.accounting().bytes_of(kSAware)));
+      next_sample += kTimelineBin;
+    }
+  };
+
+  const auto scan_acks = [&] {
+    for (auto& p : pending) {
+      // Bounded stream lifetimes keep the number of concurrently live
+      // sessions realistic.
+      if (config.stream_duration > 0 && p.deployed_at >= 0 &&
+          p.stopped_at < 0 &&
+          net.now() >= p.deployed_at + config.stream_duration) {
+        net.terminate_source(p.mapping.at(p.requirement.source()), p.id);
+        p.stopped_at = net.now();
+      }
+      if (p.acked) continue;
+      for (const auto& result : nodes[p.designated].algorithm->results()) {
+        if (result.request != p.id) continue;
+        p.acked = true;
+        p.ok = result.ok;
+        p.mapping = result.mapping;
+        if (p.ok && config.deploy_streams) {
+          const NodeId source_id = p.mapping.at(p.requirement.source());
+          const NodeId sink_id = p.mapping.at(p.requirement.sink());
+          sim::SimEngine* source_engine = net.node(source_id);
+          sim::SimEngine* sink_engine = net.node(sink_id);
+          if (source_engine != nullptr && sink_engine != nullptr) {
+            double source_cap = config.cap_hi;
+            for (const auto& n : nodes) {
+              if (n.engine->self() == source_id) source_cap = n.capacity;
+            }
+            source_engine->register_app(
+                p.id, std::make_shared<apps::CbrSource>(
+                          config.payload_bytes, source_cap,
+                          /*timestamped=*/true));
+            p.sink = std::make_shared<apps::SinkApp>();
+            p.sink->track_delay(true);
+            sink_engine->register_app(p.id, p.sink);
+            net.deploy(source_id, p.id);
+            p.deployed_at = net.now();
+          }
+        }
+        break;
+      }
+    }
+  };
+
+  // Main loop: execute actions in order, sampling and scanning between.
+  for (const auto& action : actions) {
+    while (net.now() < action.at) {
+      const TimePoint step =
+          std::min<TimePoint>(action.at, std::min(next_sample, end_time));
+      net.run_until(std::max<TimePoint>(step, net.now() + millis(10)));
+      sample_timeline();
+      scan_acks();
+    }
+    if (action.is_service) {
+      const Node& n = nodes[action.index];
+      net.post(n.engine->self(),
+               Msg::control(MsgType::kControl, NodeId(), kControlApp,
+                            kOpHostService, static_cast<i32>(n.service)));
+    } else {
+      PendingRequest p;
+      p.id = kFirstRequestId + static_cast<u32>(action.index);
+      p.requirement = ServiceGraph::random(rng, config.universe_types,
+                                           config.requirement_length,
+                                           config.allow_branches);
+      // The designated source service node (paper §3.4): the first host
+      // of the requirement's source type. Deterministic designation
+      // concentrates request handling on a few nodes, the skew Fig 18
+      // reports.
+      std::vector<std::size_t> hosts;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].service == p.requirement.source()) hosts.push_back(i);
+      }
+      if (hosts.empty()) continue;  // cannot designate; count as failed
+      p.designated = hosts.front();
+      net.post(nodes[p.designated].engine->self(),
+               Msg::control(MsgType::kControl, NodeId(), kControlApp,
+                            kOpFederate, static_cast<i32>(p.id),
+                            p.requirement.serialize()));
+      pending.push_back(std::move(p));
+    }
+  }
+  while (net.now() < end_time) {
+    net.run_until(std::min(end_time, net.now() + seconds(1.0)));
+    sample_timeline();
+    scan_acks();
+  }
+
+  // Collect results.
+  FederationScenarioResult result;
+  for (const auto& p : pending) {
+    RequestResult r;
+    r.request = p.id;
+    r.completed = p.acked;
+    r.ok = p.ok;
+    r.mapping = p.mapping;
+    std::set<NodeId> distinct;
+    for (const auto& [type, id] : p.mapping) distinct.insert(id);
+    r.hops = distinct.size();
+    if (p.sink && p.deployed_at >= 0 && net.now() > p.deployed_at) {
+      const TimePoint stop = p.stopped_at >= 0 ? p.stopped_at : net.now();
+      const auto stats = p.sink->stats(net.now());
+      if (stop > p.deployed_at) {
+        r.goodput = static_cast<double>(stats.bytes) /
+                    to_seconds(stop - p.deployed_at);
+      }
+      r.mean_delay_ms = p.sink->mean_delay() / 1e6;
+    }
+    result.requests.push_back(std::move(r));
+  }
+
+  const auto& acct = net.accounting();
+  result.aware_bytes = acct.bytes_of(kSAware);
+  result.federate_bytes = acct.bytes_of(kSFederate) +
+                          acct.bytes_of(kSFederateAck) +
+                          acct.bytes_of(kSPath);
+  for (const auto& n : nodes) {
+    const NodeId id = n.engine->self();
+    result.aware_bytes_per_node[id] = acct.node_bytes_of(id, kSAware);
+    result.federate_bytes_per_node[id] =
+        acct.node_bytes_of(id, kSFederate) +
+        acct.node_bytes_of(id, kSFederateAck) +
+        acct.node_bytes_of(id, kSPath);
+
+    FederationScenarioResult::NodeTraffic traffic;
+    traffic.id = id;
+    traffic.capacity = n.capacity;
+    const auto sent_it = acct.per_node.find(id);
+    if (sent_it != acct.per_node.end()) {
+      for (const auto& [type, counter] : sent_it->second) {
+        traffic.sent_bytes += counter.bytes;
+      }
+    }
+    const auto recv_it = acct.per_dest.find(id);
+    if (recv_it != acct.per_dest.end()) {
+      for (const auto& [type, counter] : recv_it->second) {
+        traffic.received_bytes += counter.bytes;
+      }
+    }
+    result.node_traffic.push_back(traffic);
+  }
+
+  // Convert cumulative samples into per-bin increments (Fig 16 shape).
+  double prev = 0.0;
+  for (const double sample : aware_samples) {
+    result.aware_timeline.push_back(sample - prev);
+    prev = sample;
+  }
+  return result;
+}
+
+}  // namespace iov::federation

@@ -1,0 +1,172 @@
+#include "federation/service_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace iov::federation {
+
+std::optional<ServiceGraph> ServiceGraph::make(
+    ServiceType source, ServiceType sink,
+    std::vector<std::pair<ServiceType, ServiceType>> edges) {
+  ServiceGraph g;
+  g.source_ = source;
+  g.sink_ = sink;
+  g.edges_.insert(edges.begin(), edges.end());
+  if (!g.finalize()) return std::nullopt;
+  return g;
+}
+
+ServiceGraph ServiceGraph::chain(const std::vector<ServiceType>& types) {
+  ServiceGraph g;
+  if (types.empty()) return g;
+  g.source_ = types.front();
+  g.sink_ = types.back();
+  for (std::size_t i = 0; i + 1 < types.size(); ++i) {
+    g.edges_.insert({types[i], types[i + 1]});
+  }
+  g.finalize();
+  return g;
+}
+
+ServiceGraph ServiceGraph::random(Rng& rng, ServiceType universe,
+                                  std::size_t length, bool allow_branches) {
+  length = std::max<std::size_t>(2, std::min<std::size_t>(length, universe));
+  std::vector<ServiceType> pool;
+  for (ServiceType t = 1; t <= universe; ++t) pool.push_back(t);
+  rng.shuffle(pool);
+  std::vector<ServiceType> chain_types(pool.begin(),
+                                       pool.begin() + static_cast<long>(length));
+  ServiceGraph g = chain(chain_types);
+  if (allow_branches && length >= 4 && rng.chance(0.5)) {
+    // Add a diamond: a shortcut edge skipping one chain stage, making the
+    // skipped stage's neighbour a fan-out/fan-in pair.
+    const std::size_t i = 1 + rng.below(length - 3);
+    g.edges_.insert({chain_types[i - 1], chain_types[i + 1]});
+    g.finalize();
+  }
+  return g;
+}
+
+bool ServiceGraph::contains(ServiceType t) const {
+  return std::find(topo_order_.begin(), topo_order_.end(), t) !=
+         topo_order_.end();
+}
+
+std::vector<ServiceType> ServiceGraph::successors(ServiceType t) const {
+  std::vector<ServiceType> out;
+  for (const auto& [from, to] : edges_) {
+    if (from == t) out.push_back(to);
+  }
+  return out;
+}
+
+std::vector<ServiceType> ServiceGraph::predecessors(ServiceType t) const {
+  std::vector<ServiceType> out;
+  for (const auto& [from, to] : edges_) {
+    if (to == t) out.push_back(from);
+  }
+  return out;
+}
+
+std::optional<ServiceType> ServiceGraph::next_in_order(ServiceType t) const {
+  for (std::size_t i = 0; i + 1 < topo_order_.size(); ++i) {
+    if (topo_order_[i] == t) return topo_order_[i + 1];
+  }
+  return std::nullopt;
+}
+
+bool ServiceGraph::finalize() {
+  topo_order_.clear();
+  // Collect the vertex set.
+  std::set<ServiceType> vertices{source_, sink_};
+  std::map<ServiceType, std::size_t> in_degree;
+  for (const auto& [from, to] : edges_) {
+    vertices.insert(from);
+    vertices.insert(to);
+  }
+  for (const auto v : vertices) in_degree[v] = 0;
+  for (const auto& [from, to] : edges_) in_degree[to]++;
+
+  // Kahn's algorithm with a sorted frontier for a deterministic order.
+  std::set<ServiceType> frontier;
+  for (const auto& [v, d] : in_degree) {
+    if (d == 0) frontier.insert(v);
+  }
+  while (!frontier.empty()) {
+    const ServiceType v = *frontier.begin();
+    frontier.erase(frontier.begin());
+    topo_order_.push_back(v);
+    for (const auto to : successors(v)) {
+      if (--in_degree[to] == 0) frontier.insert(to);
+    }
+  }
+  if (topo_order_.size() != vertices.size()) return false;  // cycle
+
+  // Structural validity: the source is the unique root and the sink the
+  // unique leaf, so all data enters at the source and leaves at the sink.
+  std::map<ServiceType, std::size_t> out_degree;
+  for (const auto v : vertices) out_degree[v] = 0;
+  for (const auto& [from, to] : edges_) out_degree[from]++;
+  for (const auto v : vertices) {
+    if (in_degree_of(v) == 0 && v != source_) return false;
+    if (out_degree[v] == 0 && v != sink_) return false;
+  }
+  if (in_degree_of(source_) != 0) return false;
+  if (out_degree[sink_] != 0 && vertices.size() > 1) return false;
+  return true;
+}
+
+std::size_t ServiceGraph::in_degree_of(ServiceType t) const {
+  std::size_t n = 0;
+  for (const auto& [from, to] : edges_) n += (to == t) ? 1 : 0;
+  return n;
+}
+
+std::string ServiceGraph::serialize() const {
+  std::string edges;
+  for (const auto& [from, to] : edges_) {
+    if (!edges.empty()) edges += ',';
+    edges += strf("%u-%u", from, to);
+  }
+  return strf("src=%u;sink=%u;edges=", source_, sink_) + edges;
+}
+
+std::optional<ServiceGraph> ServiceGraph::parse(std::string_view text) {
+  ServiceGraph g;
+  for (const auto& field : split(text, ';')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const auto key = field.substr(0, eq);
+    const auto value = std::string_view(field).substr(eq + 1);
+    unsigned long long v = 0;
+    if (key == "src") {
+      if (!parse_u64(value, 0xffffffffULL, &v)) return std::nullopt;
+      g.source_ = static_cast<ServiceType>(v);
+    } else if (key == "sink") {
+      if (!parse_u64(value, 0xffffffffULL, &v)) return std::nullopt;
+      g.sink_ = static_cast<ServiceType>(v);
+    } else if (key == "edges") {
+      if (trim(value).empty()) continue;
+      for (const auto& edge : split(value, ',')) {
+        const auto dash = edge.find('-');
+        if (dash == std::string::npos) return std::nullopt;
+        unsigned long long from = 0;
+        unsigned long long to = 0;
+        if (!parse_u64(std::string_view(edge).substr(0, dash), 0xffffffffULL,
+                       &from) ||
+            !parse_u64(std::string_view(edge).substr(dash + 1), 0xffffffffULL,
+                       &to)) {
+          return std::nullopt;
+        }
+        g.edges_.insert({static_cast<ServiceType>(from),
+                         static_cast<ServiceType>(to)});
+      }
+    }
+  }
+  if (!g.finalize()) return std::nullopt;
+  return g;
+}
+
+}  // namespace iov::federation

@@ -1,0 +1,78 @@
+// Service requirements for service overlay networks (paper §3.4).
+//
+// A complex service is specified as a directed acyclic graph over
+// *service types*: data enters at the source type, flows along the DAG's
+// producer-consumer edges through transformation services, and leaves at
+// the sink type. The sFlow/fixed/random federation algorithms select one
+// hosting node per type; the data plane then follows the DAG edges over
+// the selected instances.
+//
+// Requirements travel inside sFederate messages, so the graph has a
+// compact text serialization: "src=1;sink=4;edges=1-2,1-3,2-4,3-4".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace iov::federation {
+
+/// A service type identifier (e.g., "transcode", "watermark" — opaque
+/// numbers here).
+using ServiceType = u32;
+
+class ServiceGraph {
+ public:
+  ServiceGraph() = default;
+
+  /// Builds a graph; returns nullopt if the edge set is cyclic, has
+  /// types unreachable from the source, or cannot reach the sink.
+  static std::optional<ServiceGraph> make(
+      ServiceType source, ServiceType sink,
+      std::vector<std::pair<ServiceType, ServiceType>> edges);
+
+  /// A simple chain source -> ... -> sink over `types`.
+  static ServiceGraph chain(const std::vector<ServiceType>& types);
+
+  /// A random requirement over the type universe [1, universe]: a chain
+  /// of `length` distinct types with optional diamond branches.
+  static ServiceGraph random(Rng& rng, ServiceType universe,
+                             std::size_t length, bool allow_branches = true);
+
+  ServiceType source() const { return source_; }
+  ServiceType sink() const { return sink_; }
+
+  const std::vector<ServiceType>& types() const { return topo_order_; }
+  std::size_t size() const { return topo_order_.size(); }
+
+  std::vector<ServiceType> successors(ServiceType t) const;
+  std::vector<ServiceType> predecessors(ServiceType t) const;
+  bool contains(ServiceType t) const;
+
+  /// The type after `t` in topological order (nullopt for the last).
+  std::optional<ServiceType> next_in_order(ServiceType t) const;
+
+  std::string serialize() const;
+  static std::optional<ServiceGraph> parse(std::string_view text);
+
+  bool operator==(const ServiceGraph& other) const {
+    return source_ == other.source_ && sink_ == other.sink_ &&
+           edges_ == other.edges_;
+  }
+
+ private:
+  bool finalize();  // computes topo order; false on cycle/disconnection
+  std::size_t in_degree_of(ServiceType t) const;
+
+  ServiceType source_ = 0;
+  ServiceType sink_ = 0;
+  std::set<std::pair<ServiceType, ServiceType>> edges_;
+  std::vector<ServiceType> topo_order_;
+};
+
+}  // namespace iov::federation

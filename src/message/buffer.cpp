@@ -1,0 +1,23 @@
+#include "message/buffer.h"
+
+namespace iov {
+
+BufferPtr Buffer::pattern(std::size_t n, u32 seed) {
+  std::vector<u8> bytes(n);
+  u32 x = seed * 0x9e3779b9u + 0x85ebca6bu;
+  for (std::size_t i = 0; i < n; ++i) {
+    // xorshift32 keeps the pattern cheap yet position dependent.
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    bytes[i] = static_cast<u8>(x);
+  }
+  return wrap(std::move(bytes));
+}
+
+BufferPtr Buffer::empty_buffer() {
+  static const BufferPtr kEmpty = std::make_shared<const Buffer>();
+  return kEmpty;
+}
+
+}  // namespace iov

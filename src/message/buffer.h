@@ -1,0 +1,68 @@
+// Immutable, reference-counted payload storage.
+//
+// This is the heart of the paper's "zero copying of messages" property
+// (§2.2): a payload is allocated once when a message enters the node (or
+// is produced by the application) and only its reference travels from the
+// receiving socket, through the engine switch, to every outgoing socket.
+// Copy-on-write never happens implicitly; algorithms that need a mutable
+// payload must clone explicitly (Msg::clone_with_payload).
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iov {
+
+class Buffer;
+using BufferPtr = std::shared_ptr<const Buffer>;
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<u8> bytes) : bytes_(std::move(bytes)) {}
+
+  const u8* data() const { return bytes_.data(); }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  /// Payload viewed as text (used by trace and report messages).
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(bytes_.data()), bytes_.size()};
+  }
+
+  const std::vector<u8>& bytes() const { return bytes_; }
+
+  /// Wraps a byte vector (moved) without copying.
+  static BufferPtr wrap(std::vector<u8> bytes) {
+    return std::make_shared<const Buffer>(std::move(bytes));
+  }
+
+  /// Copies raw memory into a fresh buffer.
+  static BufferPtr copy(const void* data, std::size_t n) {
+    std::vector<u8> bytes(n);
+    if (n > 0) std::memcpy(bytes.data(), data, n);
+    return wrap(std::move(bytes));
+  }
+
+  /// Copies a string payload.
+  static BufferPtr from_string(std::string_view s) {
+    return copy(s.data(), s.size());
+  }
+
+  /// A buffer of `n` bytes filled with a deterministic pattern derived
+  /// from `seed`; the apps module uses this for payload integrity checks.
+  static BufferPtr pattern(std::size_t n, u32 seed);
+
+  /// The shared empty buffer.
+  static BufferPtr empty_buffer();
+
+ private:
+  std::vector<u8> bytes_;
+};
+
+}  // namespace iov

@@ -1,0 +1,40 @@
+#include "message/codec.h"
+
+namespace iov::codec {
+
+HeaderBytes encode_header(const Header& h) {
+  HeaderBytes out{};
+  write_u32(out.data(), to_wire(h.type));
+  write_u32(out.data() + 4, h.origin.ip());
+  write_u32(out.data() + 8, h.origin.port());
+  write_u32(out.data() + 12, h.app);
+  write_u32(out.data() + 16, h.seq);
+  write_u32(out.data() + 20, h.payload_size);
+  return out;
+}
+
+HeaderBytes encode_header(const Msg& m) {
+  Header h;
+  h.type = m.type();
+  h.origin = m.origin();
+  h.app = m.app();
+  h.seq = m.seq();
+  h.payload_size = static_cast<u32>(m.payload_size());
+  return encode_header(h);
+}
+
+std::optional<Header> decode_header(const u8* bytes) {
+  Header h;
+  h.type = from_wire(read_u32(bytes));
+  const u32 ip = read_u32(bytes + 4);
+  const u32 port = read_u32(bytes + 8);
+  if (port > 0xffff) return std::nullopt;
+  h.origin = NodeId(ip, static_cast<u16>(port));
+  h.app = read_u32(bytes + 12);
+  h.seq = read_u32(bytes + 16);
+  h.payload_size = read_u32(bytes + 20);
+  if (h.payload_size > Msg::kMaxPayload) return std::nullopt;
+  return h;
+}
+
+}  // namespace iov::codec

@@ -1,0 +1,63 @@
+// Header serialization for the 24-byte wire header (paper Fig. 3) plus
+// the primitive big-endian read/write helpers every protocol payload
+// encoder in this repo uses.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <optional>
+
+#include "common/node_id.h"
+#include "common/types.h"
+#include "message/msg.h"
+
+namespace iov::codec {
+
+// --- Primitive big-endian accessors ----------------------------------------
+
+inline void write_u32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
+inline u32 read_u32(const u8* p) {
+  return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+         (static_cast<u32>(p[2]) << 8) | static_cast<u32>(p[3]);
+}
+
+inline void write_u64(u8* p, u64 v) {
+  write_u32(p, static_cast<u32>(v >> 32));
+  write_u32(p + 4, static_cast<u32>(v));
+}
+
+inline u64 read_u64(const u8* p) {
+  return (static_cast<u64>(read_u32(p)) << 32) | read_u32(p + 4);
+}
+
+// --- The fixed message header ----------------------------------------------
+
+/// Decoded form of the 24-byte header.
+struct Header {
+  MsgType type = MsgType::kInvalid;
+  NodeId origin;
+  u32 app = 0;
+  u32 seq = 0;
+  u32 payload_size = 0;
+};
+
+using HeaderBytes = std::array<u8, Msg::kHeaderSize>;
+
+/// Serializes `m`'s header.
+HeaderBytes encode_header(const Msg& m);
+
+/// Serializes a header from parts (used by the framing layer when the
+/// payload is streamed separately).
+HeaderBytes encode_header(const Header& h);
+
+/// Parses a header; returns nullopt if the payload size exceeds
+/// Msg::kMaxPayload (a corrupt or hostile frame).
+std::optional<Header> decode_header(const u8* bytes);
+
+}  // namespace iov::codec

@@ -1,0 +1,36 @@
+#include "message/msg.h"
+
+#include "common/strings.h"
+#include "message/codec.h"
+
+namespace iov {
+
+i32 Msg::param(int i) const {
+  const std::size_t off = static_cast<std::size_t>(i) * 4;
+  if (i < 0 || i > 1 || payload_->size() < off + 4) return 0;
+  return static_cast<i32>(codec::read_u32(payload_->data() + off));
+}
+
+std::string_view Msg::param_text() const {
+  if (payload_->size() <= 8) return {};
+  const auto full = payload_->view();
+  return full.substr(8);
+}
+
+MsgPtr Msg::control(MsgType type, NodeId origin, u32 app, i32 p0, i32 p1,
+                    std::string_view text) {
+  std::vector<u8> bytes(8 + text.size());
+  codec::write_u32(bytes.data(), static_cast<u32>(p0));
+  codec::write_u32(bytes.data() + 4, static_cast<u32>(p1));
+  if (!text.empty()) std::memcpy(bytes.data() + 8, text.data(), text.size());
+  return std::make_shared<Msg>(type, origin, app, 0,
+                               Buffer::wrap(std::move(bytes)));
+}
+
+std::string Msg::describe() const {
+  return strf("%s{origin=%s app=%u seq=%u payload=%zuB}",
+              msg_type_name(type_), origin_.to_string().c_str(), app_, seq_,
+              payload_size());
+}
+
+}  // namespace iov

@@ -1,0 +1,36 @@
+#include "message/types.h"
+
+namespace iov {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kInvalid: return "invalid";
+    case MsgType::kData: return "data";
+    case MsgType::kBoot: return "boot";
+    case MsgType::kBootReply: return "bootReply";
+    case MsgType::kRequest: return "request";
+    case MsgType::kReport: return "report";
+    case MsgType::kTrace: return "trace";
+    case MsgType::kSDeploy: return "sDeploy";
+    case MsgType::kSTerminate: return "sTerminate";
+    case MsgType::kSJoin: return "sJoin";
+    case MsgType::kSLeave: return "sLeave";
+    case MsgType::kTerminateNode: return "terminateNode";
+    case MsgType::kSetBandwidth: return "setBandwidth";
+    case MsgType::kControl: return "control";
+    case MsgType::kSAnnounce: return "sAnnounce";
+    case MsgType::kBrokenSource: return "BrokenSource";
+    case MsgType::kBrokenLink: return "BrokenLink";
+    case MsgType::kUpThroughput: return "UpThroughput";
+    case MsgType::kDownThroughput: return "DownThroughput";
+    case MsgType::kTimer: return "timer";
+    case MsgType::kPeerFailed: return "peerFailed";
+    case MsgType::kSendFailed: return "sendFailed";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kFirstUserType: break;
+  }
+  return "user";
+}
+
+}  // namespace iov

@@ -1,0 +1,64 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+#include "message/codec.h"
+
+namespace iov {
+
+namespace {
+constexpr u32 kMagic = 0x494f5631;  // "IOV1"
+constexpr std::size_t kHelloSize = 16;
+}  // namespace
+
+bool write_hello(TcpConn& conn, const Hello& hello) {
+  u8 bytes[kHelloSize];
+  codec::write_u32(bytes, kMagic);
+  codec::write_u32(bytes + 4, static_cast<u32>(hello.kind));
+  codec::write_u32(bytes + 8, hello.sender.ip());
+  codec::write_u32(bytes + 12, hello.sender.port());
+  return conn.write_all(bytes, sizeof(bytes));
+}
+
+std::optional<Hello> read_hello(TcpConn& conn) {
+  u8 bytes[kHelloSize];
+  if (!conn.read_all(bytes, sizeof(bytes))) return std::nullopt;
+  if (codec::read_u32(bytes) != kMagic) return std::nullopt;
+  const u32 kind = codec::read_u32(bytes + 4);
+  if (kind != static_cast<u32>(ConnKind::kPersistent) &&
+      kind != static_cast<u32>(ConnKind::kControl)) {
+    return std::nullopt;
+  }
+  const u32 ip = codec::read_u32(bytes + 8);
+  const u32 port = codec::read_u32(bytes + 12);
+  if (port > 0xffff) return std::nullopt;
+  Hello hello;
+  hello.kind = static_cast<ConnKind>(kind);
+  hello.sender = NodeId(ip, static_cast<u16>(port));
+  return hello;
+}
+
+bool write_msg(TcpConn& conn, const Msg& m) {
+  const auto header = codec::encode_header(m);
+  if (!conn.write_all(header.data(), header.size())) return false;
+  if (m.payload_size() == 0) return true;
+  return conn.write_all(m.payload()->data(), m.payload_size());
+}
+
+MsgPtr read_msg(TcpConn& conn) {
+  u8 header_bytes[Msg::kHeaderSize];
+  if (!conn.read_all(header_bytes, sizeof(header_bytes))) return nullptr;
+  const auto header = codec::decode_header(header_bytes);
+  if (!header) return nullptr;
+
+  BufferPtr payload = Buffer::empty_buffer();
+  if (header->payload_size > 0) {
+    std::vector<u8> bytes(header->payload_size);
+    if (!conn.read_all(bytes.data(), bytes.size())) return nullptr;
+    payload = Buffer::wrap(std::move(bytes));
+  }
+  return std::make_shared<Msg>(header->type, header->origin, header->app,
+                               header->seq, std::move(payload));
+}
+
+}  // namespace iov

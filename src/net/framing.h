@@ -1,0 +1,56 @@
+// Message framing over TCP streams.
+//
+// Every iOverlay connection begins with a 16-byte hello identifying the
+// connection kind and the dialing node, then carries a sequence of
+// messages framed as [24-byte header | payload] (paper Fig. 3).
+//
+// Hello layout (big-endian):
+//     magic   4 bytes  "IOV1"
+//     kind    4 bytes  ConnKind
+//     ip      4 bytes  dialing node's publicized IPv4
+//     port    4 bytes  dialing node's publicized port
+//
+// The publicized address in the hello is what lets persistent connections
+// be shared: the accepting engine keys the connection by the *node id*
+// the peer listens on, not by the ephemeral source port of the TCP
+// connection itself.
+#pragma once
+
+#include <optional>
+
+#include "common/node_id.h"
+#include "message/msg.h"
+#include "net/socket.h"
+
+namespace iov {
+
+/// What a freshly accepted connection will carry.
+enum class ConnKind : u32 {
+  /// A persistent node-to-node connection: data and protocol messages,
+  /// one per pair of nodes, reused by all applications (paper §2.2,
+  /// "persistent connections").
+  kPersistent = 1,
+  /// A transient control connection (observer commands, one-shot protocol
+  /// messages, cross-thread notifications through the publicized port).
+  kControl = 2,
+};
+
+struct Hello {
+  ConnKind kind = ConnKind::kControl;
+  NodeId sender;
+};
+
+/// Writes the connection hello. False on socket error.
+bool write_hello(TcpConn& conn, const Hello& hello);
+
+/// Reads and validates the hello; nullopt on bad magic or socket error.
+std::optional<Hello> read_hello(TcpConn& conn);
+
+/// Writes one framed message (header + payload). False on socket error.
+bool write_msg(TcpConn& conn, const Msg& m);
+
+/// Reads one framed message. nullopt on EOF, socket error, or a corrupt
+/// header.
+MsgPtr read_msg(TcpConn& conn);
+
+}  // namespace iov

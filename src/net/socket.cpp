@@ -1,0 +1,259 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace iov {
+
+namespace {
+
+sockaddr_in to_sockaddr(const NodeId& id) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(id.ip());
+  addr.sin_port = htons(id.port());
+  return addr;
+}
+
+NodeId from_sockaddr(const sockaddr_in& addr) {
+  return NodeId(ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port));
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int desired =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, desired) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void suppress_sigpipe() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+std::optional<TcpConn> TcpConn::connect(const NodeId& dest, Duration timeout,
+                                        int buffer_bytes) {
+  suppress_sigpipe();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  if (buffer_bytes > 0) {
+    // Before connect(): the handshake advertises the capped window.
+    const int half = buffer_bytes / 2;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &half, sizeof(half));
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &half, sizeof(half));
+  }
+  if (!set_nonblocking(fd.get(), true)) return std::nullopt;
+
+  const sockaddr_in addr = to_sockaddr(dest);
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return std::nullopt;
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int timeout_ms =
+        timeout < 0 ? -1 : static_cast<int>(timeout / kNanosPerMilli);
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return std::nullopt;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return std::nullopt;
+    }
+  }
+  if (!set_nonblocking(fd.get(), false)) return std::nullopt;
+  set_nodelay(fd.get());
+  return TcpConn(std::move(fd));
+}
+
+bool TcpConn::write_all(const void* data, std::size_t n) {
+  const u8* p = static_cast<const u8*>(data);
+  while (n > 0) {
+    const ssize_t written = ::send(fd_.get(), p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (written == 0) return false;
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool TcpConn::read_all(void* data, std::size_t n) {
+  u8* p = static_cast<u8*>(data);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd_.get(), p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // orderly EOF mid-frame
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+long TcpConn::read_some(void* data, std::size_t n) {
+  while (true) {
+    const ssize_t got = ::recv(fd_.get(), data, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+void TcpConn::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+void TcpConn::shutdown_both() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+void TcpConn::close() {
+  // Shut down both directions first so threads blocked in recv/send on
+  // this socket wake immediately, then release the descriptor.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  fd_.reset();
+}
+
+std::optional<NodeId> TcpConn::peer_addr() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return std::nullopt;
+  }
+  return from_sockaddr(addr);
+}
+
+std::optional<NodeId> TcpConn::local_addr() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return std::nullopt;
+  }
+  return from_sockaddr(addr);
+}
+
+bool TcpConn::set_read_timeout(Duration timeout) {
+  timeval tv{};
+  if (timeout > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout / kNanosPerSec);
+    tv.tv_usec = static_cast<suseconds_t>((timeout % kNanosPerSec) /
+                                          kNanosPerMicro);
+  }
+  return ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) ==
+         0;
+}
+
+void TcpConn::set_buffer_sizes(int bytes) {
+  if (bytes <= 0 || !fd_.valid()) return;
+  // The kernel doubles the requested value for bookkeeping; halve so the
+  // effective budget is what the caller asked for.
+  const int half = bytes / 2;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDBUF, &half, sizeof(half));
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVBUF, &half, sizeof(half));
+}
+
+std::optional<TcpListener> TcpListener::listen(u16 port, bool loopback_only,
+                                               int backlog, int buffer_bytes) {
+  suppress_sigpipe();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (buffer_bytes > 0) {
+    // Accepted sockets inherit these, bounding their negotiated windows.
+    const int half = buffer_bytes / 2;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &half, sizeof(half));
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &half, sizeof(half));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    IOV_LOG_ERROR("net") << "bind(" << port << ") failed: "
+                         << std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::listen(fd.get(), backlog) != 0) return std::nullopt;
+  if (!set_nonblocking(fd.get(), true)) return std::nullopt;
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return std::nullopt;
+  }
+
+  TcpListener out;
+  out.fd_ = std::move(fd);
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+std::optional<TcpConn> TcpListener::accept() {
+  while (true) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) {
+      Fd cfd(client);
+      set_nonblocking(client, false);
+      set_nodelay(client);
+      return TcpConn(std::move(cfd));
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;  // EAGAIN (nothing pending) or a real error
+  }
+}
+
+bool wait_readable(int fd, Duration timeout) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int timeout_ms =
+      timeout < 0 ? -1 : static_cast<int>(timeout / kNanosPerMilli);
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+}  // namespace iov

@@ -1,0 +1,74 @@
+#include "net/throughput.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace iov {
+
+ThroughputMeter::ThroughputMeter(Duration window, int bins)
+    : bin_width_(std::max<Duration>(window / std::max(bins, 1), 1)),
+      bin_count_(std::max(bins, 1)),
+      bins_(static_cast<std::size_t>(bin_count_), 0) {}
+
+void ThroughputMeter::roll_locked(TimePoint now) const {
+  const i64 bin = now / bin_width_;
+  if (bin <= head_bin_) return;
+  const i64 advance = std::min<i64>(bin - head_bin_, bin_count_);
+  for (i64 i = 0; i < advance; ++i) {
+    head_bin_++;
+    bins_[static_cast<std::size_t>(head_bin_ % bin_count_)] = 0;
+  }
+  head_bin_ = bin;
+}
+
+void ThroughputMeter::record(std::size_t bytes, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  roll_locked(now);
+  bins_[static_cast<std::size_t>(head_bin_ % bin_count_)] += bytes;
+  total_bytes_ += bytes;
+  total_msgs_ += 1;
+  last_record_ = std::max(last_record_, now);
+}
+
+void ThroughputMeter::record_loss(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lost_bytes_ += bytes;
+  lost_msgs_ += 1;
+}
+
+double ThroughputMeter::rate(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  roll_locked(now);
+  const u64 sum = std::accumulate(bins_.begin(), bins_.end(), u64{0});
+  const double window_s = to_seconds(bin_width_ * bin_count_);
+  return window_s > 0.0 ? static_cast<double>(sum) / window_s : 0.0;
+}
+
+Duration ThroughputMeter::idle_for(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_record_ < 0) return std::numeric_limits<Duration>::max();
+  return std::max<Duration>(0, now - last_record_);
+}
+
+u64 ThroughputMeter::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+u64 ThroughputMeter::total_msgs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_msgs_;
+}
+
+u64 ThroughputMeter::lost_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_bytes_;
+}
+
+u64 ThroughputMeter::lost_msgs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lost_msgs_;
+}
+
+}  // namespace iov

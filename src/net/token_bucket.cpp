@@ -1,0 +1,66 @@
+#include "net/token_bucket.h"
+
+#include <algorithm>
+
+namespace iov {
+
+namespace {
+double default_burst(double rate) {
+  // One eighth of a second of traffic, at least one 8 KB message.
+  return std::max(8192.0, rate / 8.0);
+}
+}  // namespace
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, double burst_bytes) {
+  set_rate(rate_bytes_per_sec, burst_bytes);
+}
+
+void TokenBucket::set_rate(double rate_bytes_per_sec, double burst_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool was_unlimited = rate_ == 0.0;
+  rate_ = rate_bytes_per_sec > 0.0 ? rate_bytes_per_sec : 0.0;
+  burst_ = burst_bytes > 0.0 ? burst_bytes : default_burst(rate_);
+  if (was_unlimited) {
+    // Entering limited mode (including construction) starts with a full
+    // bucket: traffic is paced from the first message onward with no
+    // spurious initial delay. Limited-to-limited changes retain the
+    // balance so runtime adjustments grant no free burst.
+    tokens_ = burst_;
+  }
+  tokens_ = std::min(tokens_, burst_);
+  if (rate_ == 0.0) tokens_ = 0.0;
+}
+
+double TokenBucket::rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_;
+}
+
+void TokenBucket::refill_locked(TimePoint now) const {
+  if (now <= last_) return;
+  const double elapsed = to_seconds(now - last_);
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+Duration TokenBucket::acquire(std::size_t bytes, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rate_ == 0.0) return 0;
+  refill_locked(now);
+  tokens_ -= static_cast<double>(bytes);
+  if (tokens_ >= 0.0) return 0;
+  return static_cast<Duration>(-tokens_ / rate_ *
+                               static_cast<double>(kNanosPerSec));
+}
+
+Duration TokenBucket::would_wait(std::size_t bytes, TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rate_ == 0.0) return 0;
+  refill_locked(now);
+  const double balance = tokens_ - static_cast<double>(bytes);
+  if (balance >= 0.0) return 0;
+  return static_cast<Duration>(-balance / rate_ *
+                               static_cast<double>(kNanosPerSec));
+}
+
+}  // namespace iov

@@ -1,0 +1,172 @@
+// The observer — iOverlay's centralized monitoring, debugging and control
+// authority (paper §2.2, "The observer and its proxy").
+//
+// The paper's observer is a Windows/C# GUI; its *protocol* roles are what
+// algorithms and engines depend on, and this class implements all of them
+// headlessly (the substitution is documented in DESIGN.md):
+//
+//   * bootstrap: replies to kBoot with a random subset of alive nodes;
+//   * monitoring: collects periodic kReport status updates (buffer
+//     lengths, QoS measurements, upstream/downstream lists) and exposes
+//     them programmatically (the GUI's topology map becomes the
+//     `topology_dot()` dump);
+//   * control panel: deploys applications, makes nodes join/leave
+//     sessions, terminates sources and nodes, adjusts emulated
+//     bandwidth at runtime, and sends arbitrary algorithm-specific
+//     control messages with two integer parameters;
+//   * trace sink: records the content of kTrace messages centrally.
+//
+// Each node holds one persistent control connection to the observer
+// (dialed at engine start); the observer writes commands down the same
+// connection the node reports on.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/node_id.h"
+#include "common/rng.h"
+#include "engine/report.h"
+#include "net/framing.h"
+#include "net/socket.h"
+
+namespace iov::observer {
+
+struct ObserverConfig {
+  /// Listening port; 0 picks an ephemeral port.
+  u16 port = 0;
+  bool loopback_only = true;
+  /// "The number of initial nodes in such a subset is configurable."
+  std::size_t bootstrap_subset = 8;
+  /// Path of the trace log file; empty keeps traces in memory only.
+  std::string trace_path;
+  u64 seed = 42;
+};
+
+struct TraceRecord {
+  TimePoint at = 0;
+  NodeId node;
+  std::string text;
+};
+
+class Observer {
+ public:
+  explicit Observer(ObserverConfig config);
+  ~Observer();
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  /// Binds the port and spawns the observer thread.
+  bool start();
+  void stop();
+  void join();
+
+  /// Address nodes should be configured with (EngineConfig::observer).
+  NodeId address() const { return self_; }
+
+  // --- Monitoring (thread safe) ----------------------------------------------
+
+  struct NodeInfo {
+    NodeId id;
+    bool alive = false;
+    TimePoint booted_at = 0;
+    TimePoint last_seen = 0;
+    std::optional<engine::NodeReport> last_report;
+  };
+
+  std::vector<NodeInfo> nodes() const;
+  std::optional<NodeInfo> node(const NodeId& id) const;
+  std::size_t alive_count() const;
+
+  /// All traces collected so far (also mirrored to trace_path if set).
+  std::vector<TraceRecord> traces() const;
+
+  /// Graphviz rendering of the current overlay topology as reported by the
+  /// nodes (each node's downstream list becomes directed edges) — the
+  /// headless stand-in for the paper's live topology map (Fig. 2/10).
+  std::string topology_dot() const;
+
+  // --- Control panel (thread safe) ---------------------------------------------
+
+  /// Sends an arbitrary control message to `node`. Returns false if the
+  /// node has no live connection.
+  bool send_control(const NodeId& node, MsgType type, i32 p0 = 0, i32 p1 = 0,
+                    std::string_view text = {});
+
+  /// Deploys the application data source for session `app` on `node`.
+  bool deploy(const NodeId& node, u32 app) {
+    return send_control(node, MsgType::kSDeploy, static_cast<i32>(app));
+  }
+
+  /// Terminates the data source of `app` on `node`.
+  bool terminate_source(const NodeId& node, u32 app) {
+    return send_control(node, MsgType::kSTerminate, static_cast<i32>(app));
+  }
+
+  /// Asks `node` to join session `app` (arg is algorithm-specific).
+  bool join_app(const NodeId& node, u32 app, std::string_view arg = {}) {
+    return send_control(node, MsgType::kSJoin, static_cast<i32>(app), 0, arg);
+  }
+
+  bool leave_app(const NodeId& node, u32 app) {
+    return send_control(node, MsgType::kSLeave, static_cast<i32>(app));
+  }
+
+  /// Terminates `node` entirely ("the observer may choose to terminate a
+  /// node at will").
+  bool terminate_node(const NodeId& node) {
+    return send_control(node, MsgType::kTerminateNode);
+  }
+
+  /// Runtime bandwidth emulation control; `scope` is a
+  /// engine::BandwidthScope, rate in bytes/second, `peer` only for the
+  /// link scopes.
+  bool set_bandwidth(const NodeId& node, i32 scope, double bytes_per_sec,
+                     const NodeId& peer = NodeId());
+
+  /// Announces session `app`'s data source to `node` (paper type
+  /// sAnnounce; the tree algorithms use it to learn the session root).
+  bool announce(const NodeId& node, u32 app, const NodeId& source) {
+    return send_control(node, MsgType::kSAnnounce, static_cast<i32>(app), 0,
+                        source.to_string());
+  }
+
+  /// Requests an immediate status report from `node`.
+  bool request_report(const NodeId& node) {
+    return send_control(node, MsgType::kRequest);
+  }
+
+ private:
+  struct Conn {
+    NodeId node;
+    TcpConn conn;
+  };
+
+  void observer_main();
+  void handle_accept();
+  void handle_msg(Conn& c, const MsgPtr& m);
+  void mark_dead(const NodeId& node);
+
+  ObserverConfig config_;
+  Rng rng_;
+  NodeId self_;
+  TcpListener listener_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::map<NodeId, NodeInfo> nodes_;
+  std::vector<TraceRecord> traces_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace iov::observer

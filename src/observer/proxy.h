@@ -1,0 +1,69 @@
+// The observer's report proxy (paper §2.2): a UNIX-side relay that
+// fans in status updates from many overlay nodes and forwards them to
+// the observer over a single connection, working around desktop-side
+// connection-backlog limits and firewalls ("the status updates from
+// overlay nodes are submitted to the proxy, who relay them with a single
+// connection to the observer").
+//
+// The relay is one-directional by design — reports, traces and other
+// node-originated updates flow node -> proxy -> observer; bootstrap and
+// control-panel traffic uses each node's direct observer connection.
+// Message origin fields identify the reporting node, so the observer
+// needs no unwrapping.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/node_id.h"
+#include "net/framing.h"
+#include "net/socket.h"
+
+namespace iov::observer {
+
+struct ProxyConfig {
+  u16 port = 0;  ///< 0 picks an ephemeral port
+  bool loopback_only = true;
+  NodeId observer;  ///< upstream observer to relay to
+};
+
+class Proxy {
+ public:
+  explicit Proxy(ProxyConfig config);
+  ~Proxy();
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  bool start();
+  void stop();
+  void join();
+
+  /// Address nodes should use as their report sink
+  /// (EngineConfig::report_proxy).
+  NodeId address() const { return self_; }
+
+  /// Messages relayed so far (for tests).
+  u64 relayed() const { return relayed_.load(std::memory_order_relaxed); }
+
+ private:
+  void proxy_main();
+  void handle_accept();
+  bool relay(const MsgPtr& m);
+
+  ProxyConfig config_;
+  NodeId self_;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<TcpConn>> inbound_;
+  std::optional<TcpConn> upstream_;
+  std::atomic<u64> relayed_{0};
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace iov::observer

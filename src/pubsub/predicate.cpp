@@ -1,0 +1,147 @@
+#include "pubsub/predicate.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace iov::pubsub {
+
+namespace {
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool parse_i64(std::string_view s, i64* out) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  i64 value = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    value = value * 10 + (s[i] - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<i64> Event::get(const std::string& name) const {
+  const auto it = attributes_.find(name);
+  if (it == attributes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Event::serialize() const {
+  std::string out;
+  for (const auto& [name, value] : attributes_) {
+    if (!out.empty()) out += ';';
+    out += name + "=" + strf("%lld", static_cast<long long>(value));
+  }
+  return out;
+}
+
+std::optional<Event> Event::parse(std::string_view text) {
+  Event event;
+  if (trim(text).empty()) return event;
+  for (const auto& field : split(text, ';')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const auto name = field.substr(0, eq);
+    i64 value = 0;
+    if (!valid_name(name) ||
+        !parse_i64(std::string_view(field).substr(eq + 1), &value)) {
+      return std::nullopt;
+    }
+    event.set(name, value);
+  }
+  return event;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool Constraint::matches(i64 v) const {
+  switch (op) {
+    case Op::kEq: return v == value;
+    case Op::kNe: return v != value;
+    case Op::kLt: return v < value;
+    case Op::kLe: return v <= value;
+    case Op::kGt: return v > value;
+    case Op::kGe: return v >= value;
+  }
+  return false;
+}
+
+bool Predicate::matches(const Event& event) const {
+  for (const auto& constraint : constraints_) {
+    const auto value = event.get(constraint.name);
+    if (!value || !constraint.matches(*value)) return false;
+  }
+  return true;
+}
+
+std::string Predicate::serialize() const {
+  std::string out;
+  for (const auto& c : constraints_) {
+    if (!out.empty()) out += '&';
+    out += c.name + op_name(c.op) +
+           strf("%lld", static_cast<long long>(c.value));
+  }
+  return out;
+}
+
+std::optional<Predicate> Predicate::parse(std::string_view text) {
+  Predicate predicate;
+  if (trim(text).empty()) return predicate;
+  for (const auto& field : split(text, '&')) {
+    // Find the operator: two-char ops first.
+    static const std::pair<const char*, Op> kOps[] = {
+        {"!=", Op::kNe}, {"<=", Op::kLe}, {">=", Op::kGe},
+        {"=", Op::kEq},  {"<", Op::kLt},  {">", Op::kGt}};
+    std::size_t pos = std::string::npos;
+    std::size_t len = 0;
+    Op op = Op::kEq;
+    for (const auto& [token, candidate] : kOps) {
+      const auto found = field.find(token);
+      if (found != std::string::npos && found < pos) {
+        pos = found;
+        len = std::strlen(token);
+        op = candidate;
+      }
+    }
+    if (pos == std::string::npos) return std::nullopt;
+    const auto name = field.substr(0, pos);
+    i64 value = 0;
+    if (!valid_name(name) ||
+        !parse_i64(std::string_view(field).substr(pos + len), &value)) {
+      return std::nullopt;
+    }
+    predicate.where(std::string(name), op, value);
+  }
+  return predicate;
+}
+
+}  // namespace iov::pubsub

@@ -1,0 +1,85 @@
+// Events and predicates for content-based networking (paper §3.1: "a
+// node advertises predicates that define messages of interest ... the
+// content-based service consists of delivering a message to all the
+// client nodes that advertised predicates matching the message").
+//
+// An Event is a set of named integer attributes; a Predicate is a
+// conjunction of attribute constraints. Both have compact text forms so
+// they travel inside messages:
+//
+//   event:      "price=42;volume=1000;symbol=7"
+//   predicate:  "price>40&volume>=500"
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iov::pubsub {
+
+/// An event: attribute name -> integer value.
+class Event {
+ public:
+  Event() = default;
+
+  Event& set(std::string name, i64 value) {
+    attributes_[std::move(name)] = value;
+    return *this;
+  }
+
+  std::optional<i64> get(const std::string& name) const;
+  std::size_t size() const { return attributes_.size(); }
+  const std::map<std::string, i64>& attributes() const { return attributes_; }
+
+  std::string serialize() const;
+  static std::optional<Event> parse(std::string_view text);
+
+  bool operator==(const Event&) const = default;
+
+ private:
+  std::map<std::string, i64> attributes_;
+};
+
+enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* op_name(Op op);
+
+/// One attribute constraint.
+struct Constraint {
+  std::string name;
+  Op op = Op::kEq;
+  i64 value = 0;
+
+  bool matches(i64 attribute_value) const;
+  bool operator==(const Constraint&) const = default;
+};
+
+/// A conjunction of constraints. An event matches iff every constrained
+/// attribute is present and satisfies its constraint.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  Predicate& where(std::string name, Op op, i64 value) {
+    constraints_.push_back(Constraint{std::move(name), op, value});
+    return *this;
+  }
+
+  bool matches(const Event& event) const;
+  bool empty() const { return constraints_.empty(); }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  std::string serialize() const;
+  static std::optional<Predicate> parse(std::string_view text);
+
+  bool operator==(const Predicate&) const = default;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace iov::pubsub

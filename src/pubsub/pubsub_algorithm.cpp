@@ -1,0 +1,175 @@
+#include "pubsub/pubsub_algorithm.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace iov::pubsub {
+
+namespace {
+
+struct SubWire {
+  NodeId relay;
+  std::string predicate;
+};
+
+std::optional<SubWire> parse_sub_text(std::string_view text) {
+  SubWire out;
+  for (const auto& field : split(text, '|')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const auto key = field.substr(0, eq);
+    const auto value = field.substr(eq + 1);
+    if (key == "relay") {
+      const auto id = NodeId::parse(value);
+      if (!id) return std::nullopt;
+      out.relay = *id;
+    } else if (key == "pred") {
+      out.predicate = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::string sub_text(const NodeId& relay, std::string_view predicate) {
+  return "relay=" + relay.to_string() + "|pred=" + std::string(predicate);
+}
+
+}  // namespace
+
+void PubSubAlgorithm::subscribe(u32 sub_id, const Predicate& predicate) {
+  local_subs_[sub_id] = predicate;
+  const SubKey key{engine().self(), sub_id};
+  subs_seen_.insert(key);
+  flood_subscription(key, predicate, /*skip=*/NodeId());
+}
+
+void PubSubAlgorithm::unsubscribe(u32 sub_id) {
+  if (local_subs_.erase(sub_id) == 0) return;
+  const auto m = Msg::control(
+      kUnsubscribe, engine().self(), app_, static_cast<i32>(sub_id), 0,
+      sub_text(engine().self(), ""));
+  for (const auto& neighbor : neighbors_) engine().send(m->clone(), neighbor);
+}
+
+void PubSubAlgorithm::flood_subscription(const SubKey& key,
+                                         const Predicate& predicate,
+                                         const NodeId& skip) {
+  const auto m = Msg::control(
+      kSubscribe, key.subscriber, app_, static_cast<i32>(key.id), 0,
+      sub_text(engine().self(), predicate.serialize()));
+  for (const auto& neighbor : neighbors_) {
+    if (neighbor != skip) engine().send(m->clone(), neighbor);
+  }
+}
+
+void PubSubAlgorithm::publish(const Event& event) {
+  const auto m = Msg::data(engine().self(), app_, next_seq_++,
+                           Buffer::from_string(event.serialize()));
+  // Route through the normal data path so local subscribers and
+  // forwarding behave identically for local and remote publications.
+  on_data(m);
+}
+
+bool PubSubAlgorithm::remember_event(const NodeId& origin, u32 seq) {
+  if (!events_seen_.insert({origin, seq}).second) return false;
+  events_order_.push_back({origin, seq});
+  if (events_order_.size() > kEventMemory) {
+    events_seen_.erase(events_order_.front());
+    events_order_.pop_front();
+  }
+  return true;
+}
+
+Disposition PubSubAlgorithm::on_data(const MsgPtr& m) {
+  if (m->app() != app_) return Disposition::kDone;
+  if (!remember_event(m->origin(), m->seq())) return Disposition::kDone;
+
+  const auto event = Event::parse(m->text());
+  if (!event) {
+    IOV_LOG_WARN("pubsub") << "malformed event " << m->describe();
+    return Disposition::kDone;
+  }
+
+  // Local delivery: any matching local subscription.
+  for (const auto& [id, predicate] : local_subs_) {
+    if (predicate.matches(*event)) {
+      engine().deliver_local(m);
+      ++delivered_;
+      break;
+    }
+  }
+
+  // Content-based forwarding: only toward neighbors with a matching
+  // predicate in the routing table.
+  std::set<NodeId> targets;
+  for (const auto& [route, predicate] : remote_subs_) {
+    if (targets.count(route.first) == 0 && predicate.matches(*event)) {
+      targets.insert(route.first);
+    }
+  }
+  for (const auto& target : targets) {
+    engine().send(m, target);
+    ++forwarded_;
+  }
+  return Disposition::kDone;
+}
+
+void PubSubAlgorithm::handle_subscribe(const MsgPtr& m) {
+  const auto wire = parse_sub_text(m->param_text());
+  if (!wire) return;
+  const auto predicate = Predicate::parse(wire->predicate);
+  if (!predicate) return;
+  const SubKey key{m->origin(), static_cast<u32>(m->param(0))};
+  remote_subs_[{wire->relay, key}] = *predicate;
+  if (!subs_seen_.insert(key).second) return;  // already flooded onward
+  flood_subscription(key, *predicate, /*skip=*/wire->relay);
+}
+
+void PubSubAlgorithm::handle_unsubscribe(const MsgPtr& m) {
+  const SubKey key{m->origin(), static_cast<u32>(m->param(0))};
+  bool removed = false;
+  for (auto it = remote_subs_.begin(); it != remote_subs_.end();) {
+    if (it->first.second == key) {
+      it = remote_subs_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  subs_seen_.erase(key);
+  if (!removed) return;
+  const auto wire = parse_sub_text(m->param_text());
+  const NodeId skip = wire ? wire->relay : NodeId();
+  const auto onward = Msg::control(
+      kUnsubscribe, m->origin(), app_, m->param(0), 0,
+      sub_text(engine().self(), ""));
+  for (const auto& neighbor : neighbors_) {
+    if (neighbor != skip) engine().send(onward->clone(), neighbor);
+  }
+}
+
+Disposition PubSubAlgorithm::on_user(const MsgPtr& m) {
+  switch (m->type()) {
+    case kSubscribe: handle_subscribe(m); break;
+    case kUnsubscribe: handle_unsubscribe(m); break;
+    default: break;
+  }
+  return Disposition::kDone;
+}
+
+void PubSubAlgorithm::on_broken_link(const NodeId& peer) {
+  neighbors_.erase(peer);
+  for (auto it = remote_subs_.begin(); it != remote_subs_.end();) {
+    it = it->first.first == peer ? remote_subs_.erase(it) : std::next(it);
+  }
+}
+
+std::string PubSubAlgorithm::status() const {
+  return strf("pubsub neighbors=%zu local=%zu routes=%zu delivered=%llu",
+              neighbors_.size(), local_subs_.size(), remote_subs_.size(),
+              static_cast<unsigned long long>(delivered_));
+}
+
+}  // namespace iov::pubsub

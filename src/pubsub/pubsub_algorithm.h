@@ -1,0 +1,93 @@
+// Content-based publish/subscribe over iOverlay — the §3.1 use case
+// ("content-based networks ... a natural fit to be supported by
+// iOverlay") as a working algorithm.
+//
+// Brokers form an acyclic overlay (the neighbor set). Subscriptions are
+// predicates; they flood the broker topology, and every broker records,
+// per neighbor, the predicates reachable through it. A published event
+// is delivered to matching local subscribers and forwarded only toward
+// neighbors with at least one matching predicate — reverse-path
+// content-based routing. A bounded seen-set makes forwarding loop-safe
+// even if the configured topology accidentally has a cycle.
+//
+// Protocol messages (algorithm-specific space):
+//   kSubscribe / kUnsubscribe    param0 = subscription id,
+//                                text   = "relay=<hop>|pred=<predicate>"
+//   events                       kData, payload = Event::serialize()
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "algorithm/algorithm.h"
+#include "pubsub/predicate.h"
+
+namespace iov::pubsub {
+
+constexpr MsgType kSubscribe = static_cast<MsgType>(0x0321);
+constexpr MsgType kUnsubscribe = static_cast<MsgType>(0x0322);
+
+class PubSubAlgorithm : public Algorithm {
+ public:
+  /// `app` is the session id events travel under.
+  explicit PubSubAlgorithm(u32 app = 1) : app_(app) {}
+
+  /// Adds a broker-topology edge (call on both endpoints).
+  void add_neighbor(const NodeId& neighbor) { neighbors_.insert(neighbor); }
+
+  /// Registers a local subscription and floods it to the brokers.
+  /// Matching events are handed to the registered Application.
+  void subscribe(u32 sub_id, const Predicate& predicate);
+
+  /// Withdraws a local subscription everywhere.
+  void unsubscribe(u32 sub_id);
+
+  /// Publishes an event from this node into the overlay.
+  void publish(const Event& event);
+
+  u64 published() const { return next_seq_; }
+  u64 delivered() const { return delivered_; }
+  u64 forwarded() const { return forwarded_; }
+  std::size_t local_subscriptions() const { return local_subs_.size(); }
+  /// Number of (neighbor, subscription) routing entries.
+  std::size_t routing_entries() const { return remote_subs_.size(); }
+
+  std::string status() const override;
+
+ protected:
+  Disposition on_data(const MsgPtr& m) override;
+  Disposition on_user(const MsgPtr& m) override;
+  void on_broken_link(const NodeId& peer) override;
+
+ private:
+  /// Identity of a subscription: its subscriber plus the id it chose.
+  struct SubKey {
+    NodeId subscriber;
+    u32 id = 0;
+    auto operator<=>(const SubKey&) const = default;
+  };
+
+  void handle_subscribe(const MsgPtr& m);
+  void handle_unsubscribe(const MsgPtr& m);
+  void flood_subscription(const SubKey& key, const Predicate& predicate,
+                          const NodeId& skip);
+  bool remember_event(const NodeId& origin, u32 seq);
+
+  const u32 app_;
+  std::set<NodeId> neighbors_;
+  std::map<u32, Predicate> local_subs_;
+  // (neighbor to route toward, subscription) -> predicate
+  std::map<std::pair<NodeId, SubKey>, Predicate> remote_subs_;
+  std::set<SubKey> subs_seen_;  // flood dedup
+
+  std::set<std::pair<NodeId, u32>> events_seen_;
+  std::deque<std::pair<NodeId, u32>> events_order_;
+  static constexpr std::size_t kEventMemory = 8192;
+
+  u32 next_seq_ = 0;
+  u64 delivered_ = 0;
+  u64 forwarded_ = 0;
+};
+
+}  // namespace iov::pubsub

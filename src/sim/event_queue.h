@@ -1,0 +1,85 @@
+// Discrete-event core: a time-ordered queue of callbacks with a stable
+// FIFO tie-break, so simulations are bit-for-bit deterministic for a
+// given seed regardless of container iteration quirks.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iov::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (clamped to now).
+  void schedule_at(TimePoint at, Action action) {
+    heap_.push(Event{std::max(at, now_), seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` after `delay` (clamped to non-negative).
+  void schedule_in(Duration delay, Action action) {
+    schedule_at(now_ + std::max<Duration>(delay, 0), std::move(action));
+  }
+
+  TimePoint now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs events in order until the queue empties or the next event lies
+  /// beyond `until`; time ends at min(until, last event). Returns the
+  /// number of events executed.
+  std::size_t run_until(TimePoint until);
+
+  /// run_until(now + d).
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Drains everything (use only when the simulation is known to quiesce).
+  std::size_t run_all();
+
+ private:
+  struct Event {
+    TimePoint at;
+    u64 seq;
+    Action action;
+    bool operator>(const Event& o) const {
+      return std::tie(at, seq) > std::tie(o.at, o.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  TimePoint now_ = 0;
+  u64 seq_ = 0;
+};
+
+inline std::size_t EventQueue::run_until(TimePoint until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Move the action out before popping so it can schedule new events.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.at;
+    event.action();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+inline std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = std::max(now_, event.at);
+    event.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace iov::sim

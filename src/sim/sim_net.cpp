@@ -1,0 +1,768 @@
+#include "sim/sim_net.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "engine/engine.h"  // BandwidthScope constants
+
+namespace iov::sim {
+
+namespace {
+/// Delay after which a peer notices a vanished neighbour (models the
+/// kernel surfacing the RST/EOF to the receiver thread).
+constexpr Duration kFailureNoticeDelay = millis(2);
+}  // namespace
+
+// --- MsgAccounting ------------------------------------------------------------
+
+void MsgAccounting::record(const NodeId& src, const NodeId& dst,
+                           const Msg& m) {
+  const auto add = [&](Counter& c) {
+    c.msgs += 1;
+    c.bytes += m.wire_size();
+  };
+  add(total[m.type()]);
+  add(per_node[src][m.type()]);
+  add(per_dest[dst][m.type()]);
+}
+
+u64 MsgAccounting::bytes_of(MsgType t) const {
+  const auto it = total.find(t);
+  return it == total.end() ? 0 : it->second.bytes;
+}
+
+u64 MsgAccounting::node_bytes_of(const NodeId& node, MsgType t) const {
+  const auto it = per_node.find(node);
+  if (it == per_node.end()) return 0;
+  const auto jt = it->second.find(t);
+  return jt == it->second.end() ? 0 : jt->second.bytes;
+}
+
+// --- SimEngine ------------------------------------------------------------------
+
+SimEngine::SimEngine(SimNet& net, NodeId id,
+                     std::unique_ptr<Algorithm> algorithm,
+                     SimNodeConfig config)
+    : net_(net),
+      self_(id),
+      algorithm_(std::move(algorithm)),
+      config_(config),
+      rng_(net.rng().split()),
+      bandwidth_(config.bandwidth) {
+  algorithm_->bind(*this);
+  // Periodic throughput reports, mirroring the real engine.
+  net_.events_.schedule_in(config_.throughput_interval, [this] {
+    emit_throughput_reports();
+  });
+}
+
+SimEngine::~SimEngine() = default;
+
+TimePoint SimEngine::now() const { return net_.now(); }
+
+void SimEngine::register_app(u32 app, std::shared_ptr<Application> impl) {
+  sources_[app].app_impl = std::move(impl);
+}
+
+void SimEngine::set_timer(Duration delay, i32 timer_id) {
+  net_.events_.schedule_in(delay, [this, timer_id] {
+    if (!alive_) return;
+    deliver_to_algorithm(
+        Msg::control(MsgType::kTimer, self_, kControlApp, timer_id));
+    schedule_pump();
+  });
+}
+
+void SimEngine::emit_throughput_reports() {
+  if (!alive_) return;
+  for (const auto& [peer, apps] : up_apps_) {
+    if (const SimLink* l = net_.find_link(peer, self_)) {
+      deliver_to_algorithm(Msg::control(
+          MsgType::kUpThroughput, peer, kControlApp,
+          static_cast<i32>(l->rx_meter.rate(now()))));
+    }
+  }
+  for (const auto& [peer, apps] : down_apps_) {
+    if (const SimLink* l = net_.find_link(self_, peer)) {
+      deliver_to_algorithm(Msg::control(
+          MsgType::kDownThroughput, peer, kControlApp,
+          static_cast<i32>(l->tx_meter.rate(now()))));
+    }
+  }
+  schedule_pump();
+  net_.events_.schedule_in(config_.throughput_interval, [this] {
+    emit_throughput_reports();
+  });
+}
+
+void SimEngine::deliver_to_algorithm(const MsgPtr& m) {
+  if (!alive_) return;
+  algorithm_->process(m);
+}
+
+void SimEngine::dispatch(const MsgPtr& m) {
+  if (!alive_) return;
+  switch (m->type()) {
+    case MsgType::kPeerFailed:
+    case MsgType::kSendFailed:
+      handle_link_failure(m->origin(), /*deliberate=*/false);
+      return;
+
+    case MsgType::kTerminateNode:
+      shutdown();
+      return;
+
+    case MsgType::kSetBandwidth: {
+      const double rate = static_cast<double>(m->param(1));
+      switch (m->param(0)) {
+        case engine::kBwNodeTotal: bandwidth_.set_node_total(rate); return;
+        case engine::kBwNodeUp: bandwidth_.set_node_up(rate); return;
+        case engine::kBwNodeDown: bandwidth_.set_node_down(rate); return;
+        case engine::kBwLinkUp:
+        case engine::kBwLinkDown: {
+          const auto peer = NodeId::parse(trim(m->param_text()));
+          if (!peer) return;
+          if (m->param(0) == engine::kBwLinkUp) {
+            bandwidth_.set_link_up(*peer, rate);
+          } else {
+            bandwidth_.set_link_down(*peer, rate);
+          }
+          return;
+        }
+        default: return;
+      }
+    }
+
+    case MsgType::kSDeploy: {
+      const u32 app = static_cast<u32>(m->param(0));
+      const auto it = sources_.find(app);
+      if (it == sources_.end() || !it->second.app_impl) {
+        IOV_LOG_WARN("sim") << self_.to_string()
+                            << ": sDeploy with no registered app " << app;
+        return;
+      }
+      it->second.active = true;
+      deliver_to_algorithm(m);
+      schedule_pump();
+      return;
+    }
+
+    case MsgType::kSTerminate: {
+      const auto it = sources_.find(static_cast<u32>(m->param(0)));
+      if (it != sources_.end()) it->second.active = false;
+      deliver_to_algorithm(m);
+      return;
+    }
+
+    case MsgType::kSJoin:
+      joined_.insert(static_cast<u32>(m->param(0)));
+      deliver_to_algorithm(m);
+      return;
+
+    case MsgType::kSLeave:
+      joined_.erase(static_cast<u32>(m->param(0)));
+      deliver_to_algorithm(m);
+      return;
+
+    case MsgType::kBrokenSource:
+      propagate_broken_source(m->app(), m->origin());
+      return;
+
+    default:
+      deliver_to_algorithm(m);
+      schedule_pump();
+      return;
+  }
+}
+
+void SimEngine::send(const MsgPtr& m, const NodeId& dest) {
+  if (!alive_ || !m || !dest.valid()) return;
+  if (dest == self_) {
+    net_.events_.schedule_in(0, [this, m] { dispatch(m); });
+    return;
+  }
+  if (m->type() == MsgType::kData && current_outbox_ != nullptr) {
+    current_outbox_->entries.push_back({m, dest});
+    return;
+  }
+  SimLink& l = net_.link(self_, dest, config_);
+  if (l.closed) return;
+  if (l.send_buf.size() < l.send_cap) {
+    l.send_buf.push_back(m);
+    down_apps_[dest].insert(m->app());
+    net_.pump_link(l);
+  } else {
+    control_backlog_[dest].push_back(m);
+  }
+}
+
+bool SimEngine::flush_outbox(Outbox& outbox) {
+  if (outbox.empty()) return false;
+  bool progress = false;
+  std::set<NodeId> stuck;
+  auto& entries = outbox.entries;
+  for (auto it = entries.begin(); it != entries.end();) {
+    const NodeId dest = it->second;
+    if (stuck.count(dest) > 0) {
+      ++it;
+      continue;
+    }
+    SimLink& l = net_.link(self_, dest, config_);
+    SimEngine* peer = net_.node(dest);
+    if (l.closed || peer == nullptr || !peer->alive_) {
+      net_.events_.schedule_in(0, [this, dest] {
+        dispatch(Msg::control(MsgType::kBrokenLink, dest, kControlApp));
+      });
+      it = entries.erase(it);
+      progress = true;
+      continue;
+    }
+    if (l.send_buf.size() < l.send_cap) {
+      l.send_buf.push_back(it->first);
+      down_apps_[dest].insert(it->first->app());
+      net_.pump_link(l);
+      it = entries.erase(it);
+      progress = true;
+    } else {
+      stuck.insert(dest);
+      ++it;
+    }
+  }
+  return progress;
+}
+
+void SimEngine::flush_control_backlogs() {
+  for (auto it = control_backlog_.begin(); it != control_backlog_.end();) {
+    SimLink& l = net_.link(self_, it->first, config_);
+    auto& queue = it->second;
+    while (!queue.empty() && !l.closed && l.send_buf.size() < l.send_cap) {
+      l.send_buf.push_back(queue.front());
+      queue.pop_front();
+      net_.pump_link(l);
+    }
+    it = queue.empty() ? control_backlog_.erase(it) : std::next(it);
+  }
+}
+
+void SimEngine::schedule_pump() {
+  if (pump_scheduled_ || !alive_) return;
+  pump_scheduled_ = true;
+  net_.events_.schedule_in(0, [this] {
+    pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void SimEngine::pump() {
+  if (!alive_) return;
+  // The switch processes at most this many wire bytes per event — the sim
+  // analogue of the real engine's finite switching capacity. Without the
+  // budget, an algorithm that consumes or drops an unbounded back-to-back
+  // stream (e.g. a source with no children yet) would loop forever at one
+  // virtual instant.
+  constexpr std::size_t kBudgetBytes = 256 * 1024;
+  std::size_t cost = 0;
+  std::size_t round = 1;
+  while (round > 0 && cost < kBudgetBytes) {
+    round = 0;
+    flush_control_backlogs();
+    // Deterministic order: maps are sorted by NodeId / app id.
+    std::vector<NodeId> ups;
+    for (const auto& [pair, link] : net_.links_) {
+      if (pair.second == self_) ups.push_back(pair.first);
+    }
+    for (const auto& peer : ups) round += pump_upstream(peer);
+    for (auto& [app, slot] : sources_) round += pump_source(app, slot);
+    cost += round;
+  }
+  if (round > 0) {
+    // Budget exhausted with work remaining: continue after the time the
+    // engine would have spent switching these bytes.
+    const Duration busy = static_cast<Duration>(
+        static_cast<double>(cost) / net_.config_.default_link_rate *
+        static_cast<double>(kNanosPerSec));
+    if (!pump_scheduled_) {
+      pump_scheduled_ = true;
+      net_.events_.schedule_in(busy, [this] {
+        pump_scheduled_ = false;
+        pump();
+      });
+    }
+  }
+
+  // Paced sources (CBR) return no message until their allowance accrues;
+  // nothing else will wake this node, so poll them.
+  bool active_source = false;
+  for (const auto& [app, slot] : sources_) {
+    active_source |= slot.active && slot.app_impl != nullptr;
+  }
+  if (active_source && !source_poll_scheduled_) {
+    source_poll_scheduled_ = true;
+    net_.events_.schedule_in(millis(20), [this] {
+      source_poll_scheduled_ = false;
+      schedule_pump();
+    });
+  }
+}
+
+std::size_t SimEngine::pump_upstream(const NodeId& peer) {
+  Outbox& outbox = upstream_outbox_[peer];
+  std::size_t progress = flush_outbox(outbox) ? 1 : 0;
+  if (!outbox.empty()) return progress;
+  SimLink* l = net_.find_link(peer, self_);
+  if (l == nullptr || l->recv_buf.empty()) return progress;
+
+  MsgPtr m = l->recv_buf.front();
+  l->recv_buf.pop_front();
+  net_.on_recv_space(self_, peer);
+  up_apps_[peer].insert(m->app());
+  const std::size_t size = m->wire_size();
+
+  current_outbox_ = &outbox;
+  deliver_to_algorithm(m);
+  current_outbox_ = nullptr;
+  flush_outbox(outbox);
+  return progress + size;
+}
+
+std::size_t SimEngine::pump_source(u32 app, SourceSlot& slot) {
+  std::size_t progress = flush_outbox(slot.outbox) ? 1 : 0;
+  if (!slot.outbox.empty() || !slot.active || !slot.app_impl) return progress;
+
+  MsgPtr m = slot.app_impl->next_message(app, self_, now());
+  if (!m) return progress;
+  m->set_seq(slot.next_seq++);
+  const std::size_t size = m->wire_size();
+  current_outbox_ = &slot.outbox;
+  deliver_to_algorithm(m);
+  current_outbox_ = nullptr;
+  flush_outbox(slot.outbox);
+  return progress + size;
+}
+
+std::vector<NodeId> SimEngine::upstreams() const {
+  std::vector<NodeId> out;
+  for (const auto& [peer, apps] : up_apps_) out.push_back(peer);
+  return out;
+}
+
+std::vector<NodeId> SimEngine::downstreams() const {
+  std::vector<NodeId> out;
+  for (const auto& [peer, apps] : down_apps_) out.push_back(peer);
+  return out;
+}
+
+std::optional<LinkStats> SimEngine::upstream_stats(const NodeId& peer) const {
+  const SimLink* l = net_.find_link(peer, self_);
+  if (l == nullptr) return std::nullopt;
+  LinkStats s;
+  s.peer = peer;
+  s.rate_bps = l->rx_meter.rate(now());
+  s.total_bytes = l->rx_meter.total_bytes();
+  s.total_msgs = l->rx_meter.total_msgs();
+  s.lost_bytes = l->rx_meter.lost_bytes();
+  s.lost_msgs = l->rx_meter.lost_msgs();
+  s.buffer_len = l->recv_buf.size();
+  s.buffer_cap = l->recv_cap;
+  return s;
+}
+
+std::optional<LinkStats> SimEngine::downstream_stats(
+    const NodeId& peer) const {
+  const SimLink* l = net_.find_link(self_, peer);
+  if (l == nullptr) return std::nullopt;
+  LinkStats s;
+  s.peer = peer;
+  s.rate_bps = l->tx_meter.rate(now());
+  s.total_bytes = l->tx_meter.total_bytes();
+  s.total_msgs = l->tx_meter.total_msgs();
+  s.lost_bytes = l->tx_meter.lost_bytes();
+  s.lost_msgs = l->tx_meter.lost_msgs();
+  s.buffer_len = l->send_buf.size();
+  s.buffer_cap = l->send_cap;
+  return s;
+}
+
+void SimEngine::deliver_local(const MsgPtr& m) {
+  const auto it = sources_.find(m->app());
+  if (it != sources_.end() && it->second.app_impl) {
+    it->second.app_impl->deliver(m, now());
+  }
+}
+
+bool SimEngine::is_source(u32 app) const {
+  const auto it = sources_.find(app);
+  return it != sources_.end() && it->second.active;
+}
+
+void SimEngine::trace(std::string_view text) {
+  net_.record_trace(self_, text);
+}
+
+void SimEngine::close_link(const NodeId& peer) {
+  handle_link_failure(peer, /*deliberate=*/true);
+  // The peer sees EOF shortly after.
+  net_.events_.schedule_in(kFailureNoticeDelay, [this, peer] {
+    if (SimEngine* other = net_.node(peer)) {
+      other->handle_link_failure(self_, /*deliberate=*/false);
+    }
+  });
+}
+
+void SimEngine::shutdown() {
+  if (!alive_) return;
+  alive_ = false;
+  net_.close_links_of(self_);
+}
+
+void SimEngine::handle_link_failure(const NodeId& peer, bool deliberate) {
+  // Notify the algorithm if we had any live link *or* any recorded traffic
+  // relationship with the peer (the link itself may already be marked
+  // closed by the time a failure notice is processed).
+  const bool had_links = net_.find_link(self_, peer) != nullptr ||
+                         net_.find_link(peer, self_) != nullptr ||
+                         up_apps_.count(peer) > 0 || down_apps_.count(peer) > 0;
+  net_.close_links_of(self_, peer);
+  upstream_outbox_.erase(peer);
+  control_backlog_.erase(peer);
+  for (auto& [slot_peer, outbox] : upstream_outbox_) {
+    std::erase_if(outbox.entries,
+                  [&](const auto& e) { return e.second == peer; });
+  }
+  for (auto& [app, slot] : sources_) {
+    std::erase_if(slot.outbox.entries,
+                  [&](const auto& e) { return e.second == peer; });
+  }
+
+  const std::set<u32> lost_apps = [&] {
+    const auto it = up_apps_.find(peer);
+    return it == up_apps_.end() ? std::set<u32>{} : it->second;
+  }();
+  up_apps_.erase(peer);
+  down_apps_.erase(peer);
+
+  if (!deliberate && had_links) {
+    deliver_to_algorithm(
+        Msg::control(MsgType::kBrokenLink, peer, kControlApp));
+  }
+
+  for (const u32 app : lost_apps) {
+    if (is_source(app)) continue;
+    bool other_upstream = false;
+    for (const auto& [other, apps] : up_apps_) {
+      if (apps.count(app) > 0) {
+        other_upstream = true;
+        break;
+      }
+    }
+    if (!other_upstream) propagate_broken_source(app, peer);
+  }
+  schedule_pump();
+}
+
+void SimEngine::propagate_broken_source(u32 app, const NodeId& origin) {
+  if (!broken_seen_.insert({app, origin}).second) return;
+  auto notice = std::make_shared<Msg>(MsgType::kBrokenSource, origin, app, 0,
+                                      Buffer::empty_buffer());
+  std::vector<NodeId> targets;
+  for (const auto& [peer, apps] : down_apps_) {
+    if (apps.count(app) > 0) targets.push_back(peer);
+  }
+  for (const auto& target : targets) send(notice, target);
+  deliver_to_algorithm(notice);
+}
+
+// --- SimNet ------------------------------------------------------------------------
+
+SimNet::SimNet() : SimNet(Config{}) {}
+
+SimNet::SimNet(Config config) : config_(config), rng_(config.seed) {}
+
+SimNet::~SimNet() = default;
+
+SimEngine& SimNet::add_node(std::unique_ptr<Algorithm> algorithm,
+                            SimNodeConfig config) {
+  const u32 host = next_host_++;
+  const NodeId id(0x0a000000u | host, static_cast<u16>(7000 + host % 50000));
+  return add_node(id, std::move(algorithm), config);
+}
+
+SimEngine& SimNet::add_node(NodeId id, std::unique_ptr<Algorithm> algorithm,
+                            SimNodeConfig config) {
+  auto node = std::make_unique<SimEngine>(*this, id, std::move(algorithm),
+                                          config);
+  SimEngine& ref = *node;
+  nodes_[id] = std::move(node);
+  events_.schedule_in(0, [&ref] { ref.algorithm().on_start(); });
+  return ref;
+}
+
+SimEngine* SimNet::node(const NodeId& id) {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const SimEngine* SimNet::node(const NodeId& id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> SimNet::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
+void SimNet::set_latency(const NodeId& a, const NodeId& b, Duration latency) {
+  latency_override_[{a, b}] = latency;
+  if (SimLink* l = find_link(a, b)) l->latency = latency;
+}
+
+void SimNet::set_loss(const NodeId& a, const NodeId& b, double probability) {
+  probability = std::clamp(probability, 0.0, 1.0);
+  loss_override_[{a, b}] = probability;
+  if (SimLink* l = find_link(a, b)) l->loss = probability;
+}
+
+Duration SimNet::latency_of(const NodeId& a, const NodeId& b) const {
+  const auto it = latency_override_.find({a, b});
+  return it == latency_override_.end() ? config_.default_latency : it->second;
+}
+
+SimLink& SimNet::link(const NodeId& src, const NodeId& dst,
+                      const SimNodeConfig& src_cfg) {
+  auto& slot = links_[{src, dst}];
+  if (!slot) {
+    slot = std::make_unique<SimLink>();
+    slot->src = src;
+    slot->dst = dst;
+    slot->latency = latency_of(src, dst);
+    const auto loss_it = loss_override_.find({src, dst});
+    if (loss_it != loss_override_.end()) slot->loss = loss_it->second;
+    slot->send_cap = src_cfg.send_buffer_msgs;
+    const SimEngine* dst_node = node(dst);
+    slot->recv_cap =
+        dst_node ? dst_node->config_.recv_buffer_msgs : src_cfg.recv_buffer_msgs;
+  } else if (slot->closed) {
+    // Re-dial after a failure: reset state *in place* — in-flight events
+    // hold references to this SimLink, so the object must never move.
+    slot->latency = latency_of(src, dst);
+    slot->send_cap = src_cfg.send_buffer_msgs;
+    const SimEngine* dst_node = node(dst);
+    slot->recv_cap =
+        dst_node ? dst_node->config_.recv_buffer_msgs : src_cfg.recv_buffer_msgs;
+    slot->send_buf.clear();
+    slot->recv_buf.clear();
+    slot->stalled = nullptr;
+    slot->busy = false;
+    slot->closed = false;
+    const auto loss_it = loss_override_.find({src, dst});
+    slot->loss = loss_it == loss_override_.end() ? 0.0 : loss_it->second;
+  }
+  return *slot;
+}
+
+SimLink* SimNet::find_link(const NodeId& src, const NodeId& dst) {
+  const auto it = links_.find({src, dst});
+  if (it == links_.end() || it->second->closed) return nullptr;
+  return it->second.get();
+}
+
+const SimLink* SimNet::find_link(const NodeId& src, const NodeId& dst) const {
+  const auto it = links_.find({src, dst});
+  if (it == links_.end() || it->second->closed) return nullptr;
+  return it->second.get();
+}
+
+void SimNet::pump_link(SimLink& l) {
+  if (l.closed || l.busy || l.send_buf.empty()) return;
+  SimEngine* src = node(l.src);
+  if (src == nullptr || !src->alive_) return;
+
+  MsgPtr m = l.send_buf.front();
+  l.send_buf.pop_front();
+  l.busy = true;
+
+  const std::size_t size = m->wire_size();
+  const Duration pace = src->bandwidth_.acquire_send(l.dst, size, now());
+  const Duration tx = static_cast<Duration>(
+      static_cast<double>(size) / config_.default_link_rate *
+      static_cast<double>(kNanosPerSec));
+  l.tx_meter.record(size, now() + pace + tx);
+
+  // Sender-buffer space freed: a blocked slot at the source may resume.
+  src->schedule_pump();
+
+  events_.schedule_in(pace + tx + l.latency, [this, &l, m] { arrive(l, m); });
+}
+
+void SimNet::arrive(SimLink& l, MsgPtr m) {
+  if (l.closed) return;
+  SimEngine* dst = node(l.dst);
+  if (dst == nullptr || !dst->alive_) {
+    l.rx_meter.record_loss(m->wire_size());
+    l.busy = false;
+    pump_link(l);
+    return;
+  }
+  // Emulated wire loss (set_loss): the message vanishes, accounted in the
+  // receiver-side loss meter.
+  if (l.loss > 0.0 && rng_.chance(l.loss)) {
+    l.rx_meter.record_loss(m->wire_size());
+    l.busy = false;
+    pump_link(l);
+    return;
+  }
+  const Duration pace = dst->bandwidth_.acquire_recv(l.src, m->wire_size(),
+                                                     now());
+  if (pace > 0) {
+    events_.schedule_in(pace, [this, &l, m] { try_deliver(l, m); });
+  } else {
+    try_deliver(l, m);
+  }
+}
+
+void SimNet::try_deliver(SimLink& l, MsgPtr m) {
+  if (l.closed) return;
+  SimEngine* dst = node(l.dst);
+  if (dst == nullptr || !dst->alive_) {
+    l.rx_meter.record_loss(m->wire_size());
+    l.busy = false;
+    pump_link(l);
+    return;
+  }
+  if (m->type() == MsgType::kData && l.recv_buf.size() >= l.recv_cap) {
+    // Receive buffer full: the link stalls, modelling a full TCP window
+    // pushing back on the sender (§2.4 "back pressure").
+    l.stalled = std::move(m);
+    return;
+  }
+  l.rx_meter.record(m->wire_size(), now());
+  accounting_.record(l.src, l.dst, *m);
+  if (m->type() == MsgType::kData) {
+    l.recv_buf.push_back(std::move(m));
+    dst->schedule_pump();
+  } else {
+    // Control traffic bypasses the data buffers (receiver threads post it
+    // straight to the engine in the real implementation).
+    dst->dispatch(m);
+  }
+  l.busy = false;
+  pump_link(l);
+}
+
+void SimNet::on_recv_space(const NodeId& dst, const NodeId& src) {
+  SimLink* l = find_link(src, dst);
+  if (l == nullptr || !l->stalled) return;
+  MsgPtr m = std::move(l->stalled);
+  l->stalled = nullptr;
+  try_deliver(*l, std::move(m));
+}
+
+void SimNet::close_links_of(const NodeId& id, const NodeId& only_peer) {
+  std::vector<NodeId> failed_peers;
+  for (auto& [key, l] : links_) {
+    if (l->closed) continue;
+    const bool touches =
+        (key.first == id &&
+         (!only_peer.valid() || key.second == only_peer)) ||
+        (key.second == id && (!only_peer.valid() || key.first == only_peer));
+    if (!touches) continue;
+    l->closed = true;
+    for (const auto& m : l->send_buf) l->tx_meter.record_loss(m->wire_size());
+    if (l->stalled) l->rx_meter.record_loss(l->stalled->wire_size());
+    for (const auto& m : l->recv_buf) {
+      (void)m;  // already delivered to the meter; drop silently
+    }
+    l->send_buf.clear();
+    l->recv_buf.clear();
+    l->stalled = nullptr;
+    const NodeId peer = key.first == id ? key.second : key.first;
+    failed_peers.push_back(peer);
+  }
+  // Peers detect the broken links shortly after (only when the closure
+  // was initiated by this node going down, not a targeted link teardown).
+  if (!only_peer.valid()) {
+    const SimEngine* self_node = node(id);
+    const bool node_down = self_node == nullptr || !self_node->alive_;
+    if (node_down) {
+      std::sort(failed_peers.begin(), failed_peers.end());
+      failed_peers.erase(
+          std::unique(failed_peers.begin(), failed_peers.end()),
+          failed_peers.end());
+      for (const auto& peer : failed_peers) {
+        events_.schedule_in(kFailureNoticeDelay, [this, peer, id] {
+          if (SimEngine* other = node(peer)) {
+            other->handle_link_failure(id, /*deliberate=*/false);
+          }
+        });
+      }
+    }
+  }
+}
+
+void SimNet::post(const NodeId& target, MsgPtr m) {
+  events_.schedule_in(0, [this, target, m] {
+    if (SimEngine* n = node(target)) n->dispatch(m);
+  });
+}
+
+void SimNet::deploy(const NodeId& target, u32 app) {
+  post(target, Msg::control(MsgType::kSDeploy, NodeId(), kControlApp,
+                            static_cast<i32>(app)));
+}
+
+void SimNet::terminate_source(const NodeId& target, u32 app) {
+  post(target, Msg::control(MsgType::kSTerminate, NodeId(), kControlApp,
+                            static_cast<i32>(app)));
+}
+
+void SimNet::join_app(const NodeId& target, u32 app, std::string_view arg) {
+  post(target, Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                            static_cast<i32>(app), 0, arg));
+}
+
+void SimNet::bootstrap(const NodeId& target, std::size_t k) {
+  std::vector<NodeId> alive;
+  for (const auto& [id, n] : nodes_) {
+    if (n->alive_ && id != target) alive.push_back(id);
+  }
+  bootstrap(target, rng_.sample(alive, k));
+}
+
+void SimNet::bootstrap(const NodeId& target,
+                       const std::vector<NodeId>& hosts) {
+  std::string list;
+  for (const auto& id : hosts) {
+    if (!list.empty()) list += ',';
+    list += id.to_string();
+  }
+  post(target, Msg::control(MsgType::kBootReply, NodeId(), kControlApp, 0, 0,
+                            list));
+}
+
+void SimNet::kill_node(const NodeId& id) {
+  events_.schedule_in(0, [this, id] {
+    if (SimEngine* n = node(id)) n->shutdown();
+  });
+}
+
+double SimNet::link_rate(const NodeId& a, const NodeId& b) const {
+  const auto it = links_.find({a, b});
+  if (it == links_.end()) return 0.0;
+  return it->second->rx_meter.rate(now());
+}
+
+u64 SimNet::link_delivered_bytes(const NodeId& a, const NodeId& b) const {
+  const auto it = links_.find({a, b});
+  if (it == links_.end()) return 0;
+  return it->second->rx_meter.total_bytes();
+}
+
+void SimNet::record_trace(const NodeId& node_id, std::string_view text) {
+  traces_.push_back(TraceRecord{now(), node_id, std::string(text)});
+}
+
+}  // namespace iov::sim

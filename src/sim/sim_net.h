@@ -1,0 +1,273 @@
+// SimNet — the deterministic discrete-event substrate.
+//
+// Algorithms written against EngineApi run unmodified on SimNet; this is
+// how the repository reproduces the paper's PlanetLab-scale experiments
+// (81-node tree construction, 5–40-node service federation) without the
+// long-gone testbed: wide-area heterogeneity is injected through the same
+// BandwidthEmulator used by the real engine plus per-link propagation
+// latencies, and the whole run is reproducible from one seed.
+//
+// The network model deliberately mirrors the real engine's mechanics
+// (DESIGN.md §4): per-upstream receive buffers and per-downstream send
+// buffers of bounded message capacity, a switch that refuses new input
+// from a slot whose previous output could not be fully placed
+// (back-pressure), one-message-at-a-time link serialization with pacing
+// from the token buckets, and a stalled-delivery state that models a full
+// TCP receive window. The paper's Fig 6/7 behaviours (bottleneck
+// propagation with small buffers, containment with large ones) emerge
+// from this model rather than being special-cased.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algorithm/algorithm.h"
+#include "algorithm/application.h"
+#include "algorithm/engine_api.h"
+#include "common/node_id.h"
+#include "common/rng.h"
+#include "net/throughput.h"
+#include "sim/event_queue.h"
+
+namespace iov::sim {
+
+class SimNet;
+
+/// Per-node start-up parameters (the sim analogue of EngineConfig).
+struct SimNodeConfig {
+  std::size_t recv_buffer_msgs = 10;
+  std::size_t send_buffer_msgs = 10;
+  BandwidthSpec bandwidth;
+  Duration throughput_interval = millis(500);
+};
+
+/// EngineApi implementation over SimNet. Created via SimNet::add_node.
+class SimEngine final : public EngineApi {
+ public:
+  SimEngine(SimNet& net, NodeId id, std::unique_ptr<Algorithm> algorithm,
+            SimNodeConfig config);
+  ~SimEngine() override;
+
+  // EngineApi.
+  void send(const MsgPtr& m, const NodeId& dest) override;
+  NodeId self() const override { return self_; }
+  TimePoint now() const override;
+  Rng& rng() override { return rng_; }
+  void set_timer(Duration delay, i32 timer_id) override;
+  std::vector<NodeId> upstreams() const override;
+  std::vector<NodeId> downstreams() const override;
+  std::optional<LinkStats> upstream_stats(const NodeId& peer) const override;
+  std::optional<LinkStats> downstream_stats(const NodeId& peer) const override;
+  BandwidthEmulator& bandwidth() override { return bandwidth_; }
+  void deliver_local(const MsgPtr& m) override;
+  bool is_source(u32 app) const override;
+  void trace(std::string_view text) override;
+  void close_link(const NodeId& peer) override;
+  void shutdown() override;
+
+  // Driver-side.
+  Algorithm& algorithm() { return *algorithm_; }
+  const Algorithm& algorithm() const { return *algorithm_; }
+  void register_app(u32 app, std::shared_ptr<Application> application);
+  bool alive() const { return alive_; }
+
+ private:
+  friend class SimNet;
+
+  struct Outbox {
+    std::vector<std::pair<MsgPtr, NodeId>> entries;
+    bool empty() const { return entries.empty(); }
+  };
+
+  struct SourceSlot {
+    std::shared_ptr<Application> app_impl;
+    bool active = false;
+    u32 next_seq = 0;
+    Outbox outbox;
+  };
+
+  void dispatch(const MsgPtr& m);
+  void deliver_to_algorithm(const MsgPtr& m);
+  void schedule_pump();
+  void pump();
+  /// Returns the wire bytes processed (0 = no progress; flush-only
+  /// progress counts as 1).
+  std::size_t pump_upstream(const NodeId& peer);
+  std::size_t pump_source(u32 app, SourceSlot& slot);
+  bool flush_outbox(Outbox& outbox);
+  void flush_control_backlogs();
+  void handle_link_failure(const NodeId& peer, bool deliberate);
+  void propagate_broken_source(u32 app, const NodeId& origin);
+  void emit_throughput_reports();
+
+  SimNet& net_;
+  const NodeId self_;
+  std::unique_ptr<Algorithm> algorithm_;
+  SimNodeConfig config_;
+  Rng rng_;
+  BandwidthEmulator bandwidth_;
+  bool alive_ = true;
+  bool pump_scheduled_ = false;
+  bool source_poll_scheduled_ = false;
+  Outbox* current_outbox_ = nullptr;
+
+  std::map<u32, SourceSlot> sources_;
+  std::set<u32> joined_;
+  std::map<NodeId, Outbox> upstream_outbox_;
+  std::map<NodeId, std::deque<MsgPtr>> control_backlog_;
+  std::map<NodeId, std::set<u32>> up_apps_;
+  std::map<NodeId, std::set<u32>> down_apps_;
+  std::set<std::pair<u32, NodeId>> broken_seen_;
+};
+
+/// One direction of a virtual link (src -> dst), created lazily on first
+/// send. Holds the sender-side buffer and the in-flight/stall state.
+struct SimLink {
+  NodeId src;
+  NodeId dst;
+  Duration latency = 0;
+  std::deque<MsgPtr> send_buf;     // sender-thread queue (bounded)
+  std::size_t send_cap = 10;
+  std::deque<MsgPtr> recv_buf;     // receiver-thread queue at dst (bounded)
+  std::size_t recv_cap = 10;
+  bool busy = false;               // a message is serializing / in flight
+  MsgPtr stalled;                  // arrived but dst receive buffer was full
+  ThroughputMeter tx_meter{seconds(2.0)};
+  ThroughputMeter rx_meter{seconds(2.0)};
+  double loss = 0.0;  // per-message drop probability
+  bool closed = false;
+};
+
+/// Global protocol-overhead accounting (for the federation figures):
+/// bytes and message counts per message type, total and per node.
+struct MsgAccounting {
+  struct Counter {
+    u64 msgs = 0;
+    u64 bytes = 0;
+  };
+  std::map<MsgType, Counter> total;
+  std::map<NodeId, std::map<MsgType, Counter>> per_node;  // keyed by sender
+  std::map<NodeId, std::map<MsgType, Counter>> per_dest;
+
+  void record(const NodeId& src, const NodeId& dst, const Msg& m);
+  u64 bytes_of(MsgType t) const;
+  u64 node_bytes_of(const NodeId& node, MsgType t) const;
+};
+
+class SimNet {
+ public:
+  struct Config {
+    u64 seed = 1;
+    /// Serialization rate of an uncapped link, bytes/second. Gives every
+    /// hop a nonzero cost so virtual time always advances (the sim
+    /// analogue of the real engine's per-hop switching cost).
+    double default_link_rate = 50e6;
+    /// Propagation delay applied to links without an explicit override.
+    Duration default_latency = millis(1);
+  };
+
+  SimNet();  // default Config
+  explicit SimNet(Config config);
+  ~SimNet();
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  // --- Topology ------------------------------------------------------------
+
+  /// Creates a node; ids are synthesized as 10.0.0.x:7000+x unless given.
+  SimEngine& add_node(std::unique_ptr<Algorithm> algorithm,
+                      SimNodeConfig config = {});
+  SimEngine& add_node(NodeId id, std::unique_ptr<Algorithm> algorithm,
+                      SimNodeConfig config = {});
+
+  SimEngine* node(const NodeId& id);
+  const SimEngine* node(const NodeId& id) const;
+  std::vector<NodeId> node_ids() const;
+
+  /// Propagation delay for the directed pair (applies to links created
+  /// afterwards and updates an existing link).
+  void set_latency(const NodeId& a, const NodeId& b, Duration latency);
+
+  /// Message-loss probability for the directed pair in [0, 1]; lost
+  /// messages are counted in the link's loss meters (the "bytes (or
+  /// messages) lost" QoS metric of §2.2). Applies to links created
+  /// afterwards and updates an existing link.
+  void set_loss(const NodeId& a, const NodeId& b, double probability);
+
+  // --- Execution -------------------------------------------------------------
+
+  TimePoint now() const { return events_.now(); }
+  void run_for(Duration d) { events_.run_for(d); }
+  void run_until(TimePoint t) { events_.run_until(t); }
+
+  // --- Observer-style control -------------------------------------------------
+
+  /// Delivers a control message to `node` as if from the observer.
+  void post(const NodeId& node, MsgPtr m);
+
+  void deploy(const NodeId& node, u32 app);
+  void terminate_source(const NodeId& node, u32 app);
+  void join_app(const NodeId& node, u32 app, std::string_view arg = {});
+
+  /// Gives `node` a kBootReply naming up to `k` random alive nodes
+  /// (or the provided explicit list).
+  void bootstrap(const NodeId& node, std::size_t k);
+  void bootstrap(const NodeId& node, const std::vector<NodeId>& hosts);
+
+  /// Abrupt node failure: all its links break; peers detect and Domino.
+  void kill_node(const NodeId& id);
+
+  // --- Measurements -------------------------------------------------------------
+
+  /// Delivered throughput of the directed link a->b over the meter
+  /// window, bytes/second (0 if the link does not exist).
+  double link_rate(const NodeId& a, const NodeId& b) const;
+  u64 link_delivered_bytes(const NodeId& a, const NodeId& b) const;
+
+  const MsgAccounting& accounting() const { return accounting_; }
+
+  struct TraceRecord {
+    TimePoint at;
+    NodeId node;
+    std::string text;
+  };
+  const std::vector<TraceRecord>& traces() const { return traces_; }
+
+  Rng& rng() { return rng_; }
+  const Config& config() const { return config_; }
+
+ private:
+  friend class SimEngine;
+
+  SimLink& link(const NodeId& src, const NodeId& dst,
+                const SimNodeConfig& src_cfg);
+  SimLink* find_link(const NodeId& src, const NodeId& dst);
+  const SimLink* find_link(const NodeId& src, const NodeId& dst) const;
+  void pump_link(SimLink& l);
+  void arrive(SimLink& l, MsgPtr m);
+  void try_deliver(SimLink& l, MsgPtr m);
+  void on_recv_space(const NodeId& dst, const NodeId& src);
+  void close_links_of(const NodeId& id, const NodeId& only_peer = NodeId());
+  Duration latency_of(const NodeId& a, const NodeId& b) const;
+  void record_trace(const NodeId& node, std::string_view text);
+
+  Config config_;
+  EventQueue events_;
+  Rng rng_;
+  u32 next_host_ = 1;
+  std::map<NodeId, std::unique_ptr<SimEngine>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<SimLink>> links_;
+  std::map<std::pair<NodeId, NodeId>, Duration> latency_override_;
+  std::map<std::pair<NodeId, NodeId>, double> loss_override_;
+  MsgAccounting accounting_;
+  std::vector<TraceRecord> traces_;
+};
+
+}  // namespace iov::sim

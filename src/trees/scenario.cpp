@@ -1,0 +1,144 @@
+#include "trees/scenario.h"
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "common/strings.h"
+#include "sim/sim_net.h"
+
+namespace iov::trees {
+
+namespace {
+
+struct Participant {
+  sim::SimEngine* engine = nullptr;
+  TreeAlgorithm* algorithm = nullptr;
+  std::shared_ptr<apps::SinkApp> sink;
+  double last_mile = 0.0;
+};
+
+}  // namespace
+
+std::vector<const TreeNodeResult*> TreeExperimentResult::receivers() const {
+  std::vector<const TreeNodeResult*> out;
+  for (std::size_t i = 1; i < nodes.size(); ++i) out.push_back(&nodes[i]);
+  return out;
+}
+
+double TreeExperimentResult::mean_receiver_goodput() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto* r : receivers()) {
+    sum += r->goodput;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TreeExperimentResult::attach_rate() const {
+  std::size_t attached = 0;
+  std::size_t n = 0;
+  for (const auto* r : receivers()) {
+    attached += r->in_tree ? 1 : 0;
+    ++n;
+  }
+  return n > 0 ? static_cast<double>(attached) / static_cast<double>(n) : 0.0;
+}
+
+TreeExperimentResult run_tree_experiment(const TreeExperimentConfig& config) {
+  sim::SimNet::Config net_config;
+  net_config.seed = config.seed;
+  sim::SimNet net(net_config);
+
+  // Build the source and receivers. Each node's emulated uplink cap is
+  // its last-mile bandwidth — "the 'last-mile' available bandwidth on
+  // overlay nodes is the bottleneck" (§3.3).
+  std::vector<Participant> participants;
+  const auto add = [&](double last_mile) {
+    auto algorithm =
+        std::make_unique<TreeAlgorithm>(config.strategy, last_mile);
+    Participant p;
+    p.algorithm = algorithm.get();
+    p.last_mile = last_mile;
+    sim::SimNodeConfig node_config;
+    node_config.bandwidth.node_up = last_mile;
+    p.engine = &net.add_node(std::move(algorithm), node_config);
+    return p;
+  };
+
+  participants.reserve(config.receiver_bandwidth.size() + 1);
+  participants.push_back(add(config.source_bandwidth));
+  participants.front().engine->register_app(
+      config.app, std::make_shared<apps::CbrSource>(config.payload_bytes,
+                                                    config.source_bandwidth));
+  for (const double bw : config.receiver_bandwidth) {
+    Participant p = add(bw);
+    p.sink = std::make_shared<apps::SinkApp>();
+    p.engine->register_app(config.app, p.sink);
+    participants.push_back(std::move(p));
+  }
+  const Participant& source = participants.front();
+
+  // Bootstrap membership, announce the source, deploy it.
+  for (const auto& p : participants) {
+    net.bootstrap(p.engine->self(), config.bootstrap_subset);
+  }
+  const std::string source_id = source.engine->self().to_string();
+  for (const auto& p : participants) {
+    net.post(p.engine->self(),
+             Msg::control(MsgType::kSAnnounce, NodeId(), kControlApp,
+                          static_cast<i32>(config.app), 0, source_id));
+  }
+  net.deploy(source.engine->self(), config.app);
+  net.run_for(millis(100));
+
+  // Receivers join one at a time, as in the paper's Fig 9 walkthrough.
+  for (std::size_t i = 1; i < participants.size(); ++i) {
+    net.join_app(participants[i].engine->self(), config.app);
+    net.run_for(config.join_spacing);
+  }
+  net.run_for(config.settle);
+
+  // Measurement window.
+  std::vector<u64> bytes_before(participants.size(), 0);
+  for (std::size_t i = 1; i < participants.size(); ++i) {
+    bytes_before[i] = participants[i].sink->stats(net.now()).bytes;
+  }
+  net.run_for(config.measure);
+
+  TreeExperimentResult result;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const Participant& p = participants[i];
+    TreeNodeResult r;
+    r.id = p.engine->self();
+    r.last_mile = p.last_mile;
+    r.is_source = (i == 0);
+    r.in_tree = p.algorithm->in_tree(config.app);
+    r.degree = p.algorithm->degree(config.app);
+    r.stress = p.algorithm->node_stress(config.app);
+    if (i > 0) {
+      r.goodput = static_cast<double>(p.sink->stats(net.now()).bytes -
+                                      bytes_before[i]) /
+                  to_seconds(config.measure);
+      if (const auto parent = p.algorithm->parent(config.app)) {
+        r.parent = *parent;
+      }
+    }
+    result.nodes.push_back(r);
+  }
+
+  // Topology dump (the Fig 12/13 stand-in).
+  std::string dot = "digraph tree {\n";
+  dot += strf("  \"%s\" [shape=box];\n", source_id.c_str());
+  for (std::size_t i = 1; i < result.nodes.size(); ++i) {
+    const auto& r = result.nodes[i];
+    if (r.parent.valid()) {
+      dot += strf("  \"%s\" -> \"%s\";\n", r.parent.to_string().c_str(),
+                  r.id.to_string().c_str());
+    }
+  }
+  dot += "}\n";
+  result.dot = std::move(dot);
+  return result;
+}
+
+}  // namespace iov::trees

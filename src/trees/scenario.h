@@ -1,0 +1,63 @@
+// Reusable driver for the §3.3 tree-construction experiments on the
+// simulated substrate: builds a session with per-node last-mile
+// bandwidth, joins receivers on a schedule, streams data, and collects
+// the quantities the paper reports (per-receiver end-to-end throughput,
+// node degree, node stress, and the resulting topology).
+//
+// Used by both the test suite and the Fig 9 / Table 3 / Fig 11-13 bench
+// harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trees/tree_algorithm.h"
+
+namespace iov::trees {
+
+struct TreeExperimentConfig {
+  TreeStrategy strategy = TreeStrategy::kNsAware;
+  u32 app = 1;
+  std::size_t payload_bytes = 1000;
+  /// Source last-mile bandwidth, bytes/second.
+  double source_bandwidth = 100e3;
+  /// One entry per receiver, bytes/second; receivers join in this order.
+  std::vector<double> receiver_bandwidth;
+  u64 seed = 1;
+  /// Virtual time between successive joins.
+  Duration join_spacing = seconds(2.0);
+  /// Extra settling time after the last join before measurement starts.
+  Duration settle = seconds(3.0);
+  /// Measurement window.
+  Duration measure = seconds(15.0);
+  /// Bootstrap subset size handed to every node.
+  std::size_t bootstrap_subset = 8;
+};
+
+struct TreeNodeResult {
+  NodeId id;
+  double last_mile = 0.0;     // bytes/second
+  bool is_source = false;
+  bool in_tree = false;
+  std::size_t degree = 0;
+  double stress = 0.0;        // 1/(100 KB/s) units, as in Table 3
+  double goodput = 0.0;       // bytes/second over the measurement window
+  NodeId parent;              // invalid for the source / unattached
+};
+
+struct TreeExperimentResult {
+  std::vector<TreeNodeResult> nodes;  // [0] is the source
+  /// Graphviz rendering of the final tree (Fig 12/13 stand-in).
+  std::string dot;
+
+  const TreeNodeResult& source() const { return nodes.front(); }
+  std::vector<const TreeNodeResult*> receivers() const;
+  double mean_receiver_goodput() const;
+  /// Fraction of receivers attached to the tree at measurement time.
+  double attach_rate() const;
+};
+
+TreeExperimentResult run_tree_experiment(const TreeExperimentConfig& config);
+
+}  // namespace iov::trees

@@ -1,0 +1,303 @@
+#include "trees/tree_algorithm.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace iov::trees {
+
+namespace {
+
+constexpr i32 kStressTimer = 100;
+constexpr Duration kStressPeriod = millis(500);
+constexpr i32 kInitialQueryTtl = 16;
+
+std::set<NodeId> parse_visited(std::string_view text) {
+  std::set<NodeId> out;
+  for (const auto& entry : split(text, ',')) {
+    if (const auto id = NodeId::parse(trim(entry))) out.insert(*id);
+  }
+  return out;
+}
+
+std::string append_visited(std::string_view text, const NodeId& self) {
+  std::string out(text);
+  if (!out.empty()) out += ',';
+  out += self.to_string();
+  return out;
+}
+
+}  // namespace
+
+const char* strategy_name(TreeStrategy s) {
+  switch (s) {
+    case TreeStrategy::kAllUnicast: return "unicast";
+    case TreeStrategy::kRandomized: return "random";
+    case TreeStrategy::kNsAware: return "ns-aware";
+  }
+  return "?";
+}
+
+TreeAlgorithm::TreeAlgorithm(TreeStrategy strategy,
+                             double last_mile_bytes_per_sec)
+    : strategy_(strategy), last_mile_(last_mile_bytes_per_sec) {}
+
+void TreeAlgorithm::on_start() {
+  engine().set_timer(kStressPeriod, kStressTimer);
+}
+
+std::size_t TreeAlgorithm::degree(u32 app) const {
+  const auto it = sessions_.find(app);
+  if (it == sessions_.end()) return 0;
+  return it->second.children.size() + (it->second.parent ? 1 : 0);
+}
+
+double TreeAlgorithm::node_stress(u32 app) const {
+  if (last_mile_ <= 0.0) return 0.0;
+  return static_cast<double>(degree(app)) / (last_mile_ / 100e3);
+}
+
+std::optional<NodeId> TreeAlgorithm::parent(u32 app) const {
+  const auto it = sessions_.find(app);
+  return it == sessions_.end() ? std::nullopt : it->second.parent;
+}
+
+std::vector<NodeId> TreeAlgorithm::children(u32 app) const {
+  const auto it = sessions_.find(app);
+  if (it == sessions_.end()) return {};
+  return {it->second.children.begin(), it->second.children.end()};
+}
+
+bool TreeAlgorithm::in_tree(u32 app) const {
+  const auto it = sessions_.find(app);
+  return it != sessions_.end() && it->second.in_tree;
+}
+
+void TreeAlgorithm::on_deploy(u32 app) {
+  Session& s = session(app);
+  s.in_tree = true;
+  s.is_source = true;
+  s.source = engine().self();
+}
+
+void TreeAlgorithm::on_announce(u32 app, std::string_view source) {
+  if (const auto id = NodeId::parse(trim(source))) session(app).source = *id;
+}
+
+void TreeAlgorithm::on_join(u32 app, std::string_view arg) {
+  Session& s = session(app);
+  s.consume = true;
+  if (s.in_tree) return;
+  s.join_pending = true;
+  s.join_hint = std::string(trim(arg));
+  send_join_queries(app, s);
+}
+
+void TreeAlgorithm::send_join_queries(u32 app, Session& s) {
+  const auto query = [&](const NodeId& target) {
+    auto m = Msg::control(kSQuery, engine().self(), app, kInitialQueryTtl, 0,
+                          engine().self().to_string());
+    engine().send(m, target);
+  };
+  if (const auto hint = NodeId::parse(s.join_hint)) {
+    query(*hint);
+    return;
+  }
+  // No hint: disseminate the query to a few known hosts (§3.3 "locates a
+  // node that is currently in the tree by using one of the utility
+  // functions supported in iOverlay, which disseminates a sQuery").
+  for (const auto& host : known_hosts().sample(3, engine().rng())) {
+    query(host);
+  }
+}
+
+Disposition TreeAlgorithm::on_data(const MsgPtr& m) {
+  Session& s = session(m->app());
+  if (s.consume) engine().deliver_local(m);
+  for (const auto& child : s.children) engine().send(m, child);
+  return Disposition::kDone;
+}
+
+Disposition TreeAlgorithm::on_user(const MsgPtr& m) {
+  switch (m->type()) {
+    case kSQuery: handle_query(m); break;
+    case kSQueryAck: handle_query_ack(m); break;
+    case kSAttach: handle_attach(m); break;
+    case kSStress: handle_stress(m); break;
+    default: break;
+  }
+  return Disposition::kDone;
+}
+
+void TreeAlgorithm::handle_query(const MsgPtr& m) {
+  const u32 app = m->app();
+  const NodeId joiner = m->origin();
+  Session& s = session(app);
+  const auto visited = parse_visited(m->param_text());
+  const i32 ttl = m->param(0) - 1;
+
+  if (!s.in_tree) {
+    // Not in the tree: relay toward somebody who might be.
+    if (ttl <= 0) return;
+    for (const auto& host : known_hosts().sample(8, engine().rng())) {
+      if (visited.count(host) == 0 && host != joiner) {
+        engine().send(
+            Msg::control(kSQuery, joiner, app, ttl, 0,
+                         append_visited(m->param_text(), engine().self())),
+            host);
+        return;
+      }
+    }
+    return;
+  }
+
+  switch (strategy_) {
+    case TreeStrategy::kAllUnicast: {
+      // Forward to the data source, which accepts everyone (§3.3: "node B
+      // simply forwards the sQuery to the data source of the session").
+      if (s.is_source || !s.source.valid() ||
+          visited.count(s.source) > 0 || ttl <= 0) {
+        accept_joiner(app, joiner);
+      } else {
+        engine().send(
+            Msg::control(kSQuery, joiner, app, ttl, 0,
+                         append_visited(m->param_text(), engine().self())),
+            s.source);
+      }
+      return;
+    }
+    case TreeStrategy::kRandomized:
+      // First in-tree node acknowledges directly.
+      accept_joiner(app, joiner);
+      return;
+    case TreeStrategy::kNsAware:
+      if (ttl <= 0) {
+        accept_joiner(app, joiner);
+        return;
+      }
+      route_query_ns_aware(s, app, joiner, visited, m->param_text());
+      return;
+  }
+}
+
+void TreeAlgorithm::route_query_ns_aware(Session& s, u32 app,
+                                         const NodeId& joiner,
+                                         const std::set<NodeId>& visited,
+                                         std::string_view visited_text) {
+  // Compare own stress against tree neighbours; accept at a local
+  // minimum, otherwise forward to the minimum-stress neighbour.
+  const double own = node_stress(app);
+  NodeId best;
+  double best_stress = std::numeric_limits<double>::infinity();
+  const auto consider = [&](const NodeId& neighbor) {
+    if (neighbor == joiner || visited.count(neighbor) > 0) return;
+    const auto it = s.neighbor_stress.find(neighbor);
+    // A neighbour we have no measurement for cannot be preferred.
+    if (it == s.neighbor_stress.end()) return;
+    if (it->second < best_stress) {
+      best_stress = it->second;
+      best = neighbor;
+    }
+  };
+  if (s.parent) consider(*s.parent);
+  for (const auto& child : s.children) consider(child);
+
+  if (!best.valid() || own <= best_stress) {
+    accept_joiner(app, joiner);
+    return;
+  }
+  const i32 ttl = kInitialQueryTtl;  // bounded by the visited list instead
+  engine().send(Msg::control(kSQuery, joiner, app, ttl, 0,
+                             append_visited(visited_text, engine().self())),
+                best);
+}
+
+void TreeAlgorithm::accept_joiner(u32 app, const NodeId& joiner) {
+  if (joiner == engine().self()) return;
+  engine().send(Msg::control(kSQueryAck, engine().self(), app), joiner);
+}
+
+void TreeAlgorithm::handle_query_ack(const MsgPtr& m) {
+  Session& s = session(m->app());
+  if (s.in_tree) return;  // keep the first acknowledgment only
+  s.parent = m->origin();
+  s.in_tree = true;
+  s.join_pending = false;
+  engine().send(Msg::control(kSAttach, engine().self(), m->app()),
+                m->origin());
+}
+
+void TreeAlgorithm::handle_attach(const MsgPtr& m) {
+  Session& s = session(m->app());
+  if (!s.in_tree) return;
+  s.children.insert(m->origin());
+}
+
+void TreeAlgorithm::handle_stress(const MsgPtr& m) {
+  session(m->app()).neighbor_stress[m->origin()] =
+      static_cast<double>(m->param(0)) / 1e6;
+}
+
+void TreeAlgorithm::on_timer(i32 timer_id) {
+  if (timer_id != kStressTimer) return;
+  exchange_stress();
+  // Join queries are random walks and can exhaust their TTL without
+  // reaching the tree; retry until attached.
+  for (auto& [app, s] : sessions_) {
+    if (s.join_pending && !s.in_tree) send_join_queries(app, s);
+  }
+  engine().set_timer(kStressPeriod, kStressTimer);
+}
+
+void TreeAlgorithm::exchange_stress() {
+  for (auto& [app, s] : sessions_) {
+    if (!s.in_tree) continue;
+    const i32 scaled = static_cast<i32>(node_stress(app) * 1e6);
+    const auto tell = [&](const NodeId& neighbor) {
+      engine().send(Msg::control(kSStress, engine().self(), app, scaled),
+                    neighbor);
+    };
+    if (s.parent) tell(*s.parent);
+    for (const auto& child : s.children) tell(child);
+  }
+}
+
+void TreeAlgorithm::on_broken_link(const NodeId& peer) {
+  for (auto& [app, s] : sessions_) {
+    if (s.parent && *s.parent == peer) {
+      // Lost our parent: fall out of the tree and, if we are a consumer,
+      // rejoin automatically on the periodic timer (the fault-tolerance
+      // behaviour §3.1 motivates).
+      s.parent.reset();
+      s.in_tree = s.is_source;
+      if (s.consume && !s.is_source) s.join_pending = true;
+    }
+    s.children.erase(peer);
+    s.neighbor_stress.erase(peer);
+  }
+}
+
+void TreeAlgorithm::on_broken_source(const MsgPtr& m) {
+  const auto it = sessions_.find(m->app());
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (!s.is_source) {
+    s.in_tree = false;
+    s.parent.reset();
+    s.children.clear();
+    s.neighbor_stress.clear();
+  }
+}
+
+std::string TreeAlgorithm::status() const {
+  std::string out = strategy_name(strategy_);
+  for (const auto& [app, s] : sessions_) {
+    out += strf(" app%u[deg=%zu stress=%.2f%s%s]", app, degree(app),
+                node_stress(app), s.is_source ? " src" : "",
+                s.in_tree ? "" : " out");
+  }
+  return out;
+}
+
+}  // namespace iov::trees

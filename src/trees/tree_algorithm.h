@@ -1,0 +1,110 @@
+// Data-dissemination tree construction (paper §3.3).
+//
+// Three join strategies over one shared protocol skeleton, exactly the
+// algorithms the paper compares:
+//
+//   * all-unicast — any in-tree node that receives a join query forwards
+//     it to the session's data source (learned from sAnnounce); the
+//     source accepts every joiner directly, so the tree is a star and
+//     the source's last mile is split N ways;
+//   * randomized — the first in-tree node reached by the query accepts
+//     immediately;
+//   * node-stress aware (ns-aware) — nodes periodically exchange node
+//     stress (degree / last-mile bandwidth) with their tree neighbours;
+//     a query is routed greedily toward the minimum-stress neighbour
+//     until it reaches a local minimum, which accepts.
+//
+// Join protocol (all types in the algorithm-specific space):
+//   sQuery   joiner -> known host -> (relayed per strategy); the payload
+//            carries the visited-node list for loop freedom
+//   sQueryAck acceptor -> joiner ("you may attach to me")
+//   sAttach  joiner -> acceptor (commit; duplicate acks are ignored)
+//   sStress  periodic stress exchange between tree neighbours
+//
+// The data plane is plain copy-forwarding down the tree; receivers
+// deliver locally via the registered application.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "algorithm/algorithm.h"
+
+namespace iov::trees {
+
+/// Protocol message types.
+constexpr MsgType kSQuery = static_cast<MsgType>(0x0301);
+constexpr MsgType kSQueryAck = static_cast<MsgType>(0x0302);
+constexpr MsgType kSAttach = static_cast<MsgType>(0x0303);
+constexpr MsgType kSStress = static_cast<MsgType>(0x0304);
+
+enum class TreeStrategy { kAllUnicast, kRandomized, kNsAware };
+
+const char* strategy_name(TreeStrategy s);
+
+class TreeAlgorithm : public Algorithm {
+ public:
+  /// `last_mile_bytes_per_sec` is this node's advertised last-mile
+  /// bandwidth — the denominator of node stress. It should match the
+  /// node's emulated uplink cap.
+  TreeAlgorithm(TreeStrategy strategy, double last_mile_bytes_per_sec);
+
+  void on_start() override;
+  std::string status() const override;
+
+  // --- Introspection for experiments ----------------------------------------
+
+  /// Degree in the dissemination topology (parent + children).
+  std::size_t degree(u32 app) const;
+
+  /// Node stress as the paper defines it, in units of 1/(100 KB/s):
+  /// degree / (last-mile bandwidth / 100 KB/s).
+  double node_stress(u32 app) const;
+
+  std::optional<NodeId> parent(u32 app) const;
+  std::vector<NodeId> children(u32 app) const;
+  bool in_tree(u32 app) const;
+  double last_mile() const { return last_mile_; }
+
+ protected:
+  Disposition on_data(const MsgPtr& m) override;
+  void on_deploy(u32 app) override;
+  void on_join(u32 app, std::string_view arg) override;
+  void on_announce(u32 app, std::string_view source) override;
+  void on_timer(i32 timer_id) override;
+  void on_broken_link(const NodeId& peer) override;
+  void on_broken_source(const MsgPtr& m) override;
+  Disposition on_user(const MsgPtr& m) override;
+
+ private:
+  struct Session {
+    bool in_tree = false;
+    bool is_source = false;
+    bool consume = false;
+    bool join_pending = false;  // retried on the periodic timer
+    std::string join_hint;
+    std::optional<NodeId> parent;
+    std::set<NodeId> children;
+    NodeId source;                          // from sAnnounce
+    std::map<NodeId, double> neighbor_stress;  // from sStress
+  };
+
+  void send_join_queries(u32 app, Session& s);
+  void handle_query(const MsgPtr& m);
+  void handle_query_ack(const MsgPtr& m);
+  void handle_attach(const MsgPtr& m);
+  void handle_stress(const MsgPtr& m);
+  void accept_joiner(u32 app, const NodeId& joiner);
+  void route_query_ns_aware(Session& session, u32 app, const NodeId& joiner,
+                            const std::set<NodeId>& visited,
+                            std::string_view visited_text);
+  void exchange_stress();
+  Session& session(u32 app) { return sessions_[app]; }
+
+  const TreeStrategy strategy_;
+  const double last_mile_;
+  std::map<u32, Session> sessions_;
+};
+
+}  // namespace iov::trees

@@ -1,0 +1,126 @@
+// FakeEngine — an in-memory EngineApi for unit-testing algorithms
+// without any substrate: records every send(), trace() and timer, lets
+// tests inject messages and fire timers by hand, and exposes settable
+// link stats. Complements the real-engine and simulator integration
+// tests with fast, surgical algorithm-level checks.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithm/algorithm.h"
+#include "algorithm/engine_api.h"
+
+namespace iov::test {
+
+class FakeEngine : public EngineApi {
+ public:
+  explicit FakeEngine(NodeId self = NodeId::loopback(1000), u64 seed = 1)
+      : self_(self), rng_(seed) {}
+
+  /// Binds and returns the algorithm for chaining.
+  template <class A>
+  A& attach(A& algorithm) {
+    algorithm.bind(*this);
+    return algorithm;
+  }
+
+  // --- Test-side controls ----------------------------------------------------
+
+  struct Sent {
+    MsgPtr msg;
+    NodeId dest;
+  };
+  std::vector<Sent> sent;
+  std::vector<MsgPtr> delivered_local;
+  std::vector<std::string> traces;
+  std::vector<std::pair<Duration, i32>> timers;
+  std::vector<NodeId> closed_links;
+  bool shutdown_requested = false;
+
+  /// Messages sent to `dest`, in order.
+  std::vector<MsgPtr> sent_to(const NodeId& dest) const {
+    std::vector<MsgPtr> out;
+    for (const auto& s : sent) {
+      if (s.dest == dest) out.push_back(s.msg);
+    }
+    return out;
+  }
+
+  std::size_t count_type(MsgType t) const {
+    std::size_t n = 0;
+    for (const auto& s : sent) n += (s.msg->type() == t) ? 1 : 0;
+    return n;
+  }
+
+  void advance(Duration d) { now_ += d; }
+  void set_now(TimePoint t) { now_ = t; }
+  void set_source(u32 app, bool on) { sources_[app] = on; }
+  void set_upstreams(std::vector<NodeId> ups) { upstreams_ = std::move(ups); }
+  void set_downstreams(std::vector<NodeId> downs) {
+    downstreams_ = std::move(downs);
+  }
+  void set_upstream_stats(const NodeId& peer, LinkStats stats) {
+    up_stats_[peer] = stats;
+  }
+  void set_downstream_stats(const NodeId& peer, LinkStats stats) {
+    down_stats_[peer] = stats;
+  }
+
+  // --- EngineApi ----------------------------------------------------------------
+
+  void send(const MsgPtr& m, const NodeId& dest) override {
+    sent.push_back({m, dest});
+  }
+  NodeId self() const override { return self_; }
+  TimePoint now() const override { return now_; }
+  Rng& rng() override { return rng_; }
+  void set_timer(Duration delay, i32 timer_id) override {
+    timers.push_back({delay, timer_id});
+  }
+  std::vector<NodeId> upstreams() const override { return upstreams_; }
+  std::vector<NodeId> downstreams() const override { return downstreams_; }
+  std::optional<LinkStats> upstream_stats(
+      const NodeId& peer) const override {
+    const auto it = up_stats_.find(peer);
+    if (it == up_stats_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<LinkStats> downstream_stats(
+      const NodeId& peer) const override {
+    const auto it = down_stats_.find(peer);
+    if (it == down_stats_.end()) return std::nullopt;
+    return it->second;
+  }
+  BandwidthEmulator& bandwidth() override { return bandwidth_; }
+  void deliver_local(const MsgPtr& m) override {
+    delivered_local.push_back(m);
+  }
+  bool is_source(u32 app) const override {
+    const auto it = sources_.find(app);
+    return it != sources_.end() && it->second;
+  }
+  void trace(std::string_view text) override {
+    traces.emplace_back(text);
+  }
+  void close_link(const NodeId& peer) override {
+    closed_links.push_back(peer);
+  }
+  void shutdown() override { shutdown_requested = true; }
+
+ private:
+  NodeId self_;
+  TimePoint now_ = 0;
+  Rng rng_;
+  BandwidthEmulator bandwidth_;
+  std::vector<NodeId> upstreams_;
+  std::vector<NodeId> downstreams_;
+  std::map<NodeId, LinkStats> up_stats_;
+  std::map<NodeId, LinkStats> down_stats_;
+  std::map<u32, bool> sources_;
+};
+
+}  // namespace iov::test

@@ -1,0 +1,230 @@
+// Unit tests of the iAlgorithm base class defaults (paper §2.2/§2.3
+// Table 2) against the in-memory FakeEngine: bootstrap handling,
+// throughput bookkeeping, ping/pong echo, the gossip disseminate()
+// utility, control dispatch, and KnownHosts hygiene.
+#include "algorithm/algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_engine.h"
+#include "message/codec.h"
+
+namespace iov {
+namespace {
+
+using test::FakeEngine;
+
+const NodeId kPeerA = NodeId::loopback(2001);
+const NodeId kPeerB = NodeId::loopback(2002);
+const NodeId kObserver = NodeId::loopback(9);
+
+class PlainAlgorithm : public Algorithm {
+ public:
+  using Algorithm::disseminate;
+  using Algorithm::downstream_rate;
+  using Algorithm::ping;
+  using Algorithm::upstream_rate;
+  std::vector<std::pair<NodeId, Duration>> pongs;
+  std::vector<std::pair<u32, std::string>> announces;
+  std::vector<i32> controls;
+
+ protected:
+  void on_pong(const NodeId& peer, Duration rtt) override {
+    pongs.push_back({peer, rtt});
+  }
+  void on_announce(u32 app, std::string_view source) override {
+    announces.push_back({app, std::string(source)});
+  }
+  void on_control(const MsgPtr& m) override {
+    controls.push_back(m->param(0));
+  }
+};
+
+TEST(AlgorithmBase, BootReplyPopulatesKnownHosts) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  const auto reply = Msg::control(
+      MsgType::kBootReply, kObserver, kControlApp, 0, 0,
+      kPeerA.to_string() + "," + kPeerB.to_string());
+  alg.process(reply);
+  EXPECT_TRUE(alg.known_hosts().contains(kPeerA));
+  EXPECT_TRUE(alg.known_hosts().contains(kPeerB));
+  // The observer itself must not be learned as an overlay host.
+  EXPECT_FALSE(alg.known_hosts().contains(kObserver));
+}
+
+TEST(AlgorithmBase, PeerMessagesTeachOrigins) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  alg.process(Msg::data(kPeerA, 1, 0, Buffer::pattern(4, 0)));
+  EXPECT_TRUE(alg.known_hosts().contains(kPeerA));
+  // Observer-plane message origins are not learned.
+  alg.process(Msg::control(MsgType::kSDeploy, kObserver, kControlApp, 1));
+  EXPECT_FALSE(alg.known_hosts().contains(kObserver));
+}
+
+TEST(AlgorithmBase, DefaultDataHandlerDeliversLocally) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  const auto m = Msg::data(kPeerA, 1, 7, Buffer::pattern(16, 7));
+  EXPECT_EQ(alg.process(m), Disposition::kDone);
+  ASSERT_EQ(engine.delivered_local.size(), 1u);
+  EXPECT_EQ(engine.delivered_local[0].get(), m.get());
+  EXPECT_TRUE(engine.sent.empty());  // no forwarding by default
+}
+
+TEST(AlgorithmBase, ThroughputReportsAreRecorded) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kUpThroughput, kPeerA, kControlApp,
+                           125000));
+  alg.process(Msg::control(MsgType::kDownThroughput, kPeerA, kControlApp,
+                           50000));
+  EXPECT_DOUBLE_EQ(alg.upstream_rate(kPeerA), 125000.0);
+  EXPECT_DOUBLE_EQ(alg.downstream_rate(kPeerA), 50000.0);
+  EXPECT_DOUBLE_EQ(alg.upstream_rate(kPeerB), 0.0);
+}
+
+TEST(AlgorithmBase, BrokenLinkClearsRatesAndHosts) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  alg.process(Msg::data(kPeerA, 1, 0, Buffer::pattern(4, 0)));
+  alg.process(Msg::control(MsgType::kUpThroughput, kPeerA, kControlApp, 99));
+  alg.process(Msg::control(MsgType::kBrokenLink, kPeerA, kControlApp));
+  EXPECT_DOUBLE_EQ(alg.upstream_rate(kPeerA), 0.0);
+}
+
+TEST(AlgorithmBase, BrokenSourceForgetsTheSource) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  alg.process(Msg::data(kPeerA, 1, 0, Buffer::pattern(4, 0)));
+  ASSERT_TRUE(alg.known_hosts().contains(kPeerA));
+  alg.process(std::make_shared<Msg>(MsgType::kBrokenSource, kPeerA, 1, 0,
+                                    Buffer::empty_buffer()));
+  EXPECT_FALSE(alg.known_hosts().contains(kPeerA));
+}
+
+TEST(AlgorithmBase, PingSendsProbeAndPongEchoes) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  engine.set_now(seconds(3.0));
+  alg.ping(kPeerA);
+  ASSERT_EQ(engine.sent.size(), 1u);
+  EXPECT_EQ(engine.sent[0].msg->type(), MsgType::kPing);
+  EXPECT_EQ(engine.sent[0].dest, kPeerA);
+  // The probe payload carries the send timestamp.
+  EXPECT_EQ(codec::read_u64(engine.sent[0].msg->payload()->data()),
+            static_cast<u64>(seconds(3.0)));
+
+  // Receiving a ping produces a pong with the same payload.
+  alg.process(engine.sent[0].msg->clone());
+  ASSERT_EQ(engine.sent.size(), 2u);
+  EXPECT_EQ(engine.sent[1].msg->type(), MsgType::kPong);
+  EXPECT_EQ(engine.sent[1].msg->payload()->bytes(),
+            engine.sent[0].msg->payload()->bytes());
+}
+
+TEST(AlgorithmBase, PongComputesRtt) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  engine.set_now(seconds(1.0));
+  alg.ping(kPeerA);
+  engine.set_now(seconds(1.0) + millis(250));
+  auto pong = std::make_shared<Msg>(MsgType::kPong, kPeerA, kControlApp, 0,
+                                    engine.sent[0].msg->payload());
+  alg.process(pong);
+  ASSERT_EQ(alg.pongs.size(), 1u);
+  EXPECT_EQ(alg.pongs[0].first, kPeerA);
+  EXPECT_EQ(alg.pongs[0].second, millis(250));
+}
+
+TEST(AlgorithmBase, DisseminateProbabilityZeroAndOne) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  std::vector<NodeId> targets;
+  for (u16 p = 3000; p < 3020; ++p) targets.push_back(NodeId::loopback(p));
+  const auto m = Msg::control(MsgType::kControl, engine.self(), kControlApp);
+
+  EXPECT_EQ(alg.disseminate(m, targets, 0.0), 0u);
+  EXPECT_TRUE(engine.sent.empty());
+  EXPECT_EQ(alg.disseminate(m, targets, 1.0), 20u);
+  EXPECT_EQ(engine.sent.size(), 20u);
+  // Each copy is a clone, not the original reference (non-data clone rule).
+  for (const auto& s : engine.sent) EXPECT_NE(s.msg.get(), m.get());
+}
+
+TEST(AlgorithmBase, DisseminateFrequencyTracksP) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  std::vector<NodeId> targets;
+  for (u16 p = 0; p < 1000; ++p) {
+    targets.push_back(NodeId(0x0a000001 + p, 1));
+  }
+  const auto m = Msg::control(MsgType::kControl, engine.self(), kControlApp);
+  const std::size_t sent = alg.disseminate(m, targets, 0.3);
+  EXPECT_NEAR(static_cast<double>(sent), 300.0, 60.0);
+}
+
+TEST(AlgorithmBase, DisseminateSkipsSelf) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  const auto m = Msg::control(MsgType::kControl, engine.self(), kControlApp);
+  EXPECT_EQ(alg.disseminate(m, {engine.self(), kPeerA}, 1.0), 1u);
+}
+
+TEST(AlgorithmBase, AnnounceAndControlDispatch) {
+  FakeEngine engine;
+  PlainAlgorithm alg;
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSAnnounce, kObserver, kControlApp, 5, 0,
+                           kPeerA.to_string()));
+  ASSERT_EQ(alg.announces.size(), 1u);
+  EXPECT_EQ(alg.announces[0].first, 5u);
+  EXPECT_EQ(alg.announces[0].second, kPeerA.to_string());
+
+  alg.process(Msg::control(MsgType::kControl, kObserver, kControlApp, 42, 7));
+  ASSERT_EQ(alg.controls.size(), 1u);
+  EXPECT_EQ(alg.controls[0], 42);
+}
+
+TEST(AlgorithmBase, TimerDispatch) {
+  FakeEngine engine;
+  struct TimerCounter : Algorithm {
+    std::vector<i32> fired;
+    void on_timer(i32 id) override { fired.push_back(id); }
+  } alg;
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kTimer, engine.self(), kControlApp, 11));
+  alg.process(Msg::control(MsgType::kTimer, engine.self(), kControlApp, 12));
+  EXPECT_EQ(alg.fired, (std::vector<i32>{11, 12}));
+}
+
+TEST(AlgorithmBase, UnknownUserTypeGoesToOnUser) {
+  FakeEngine engine;
+  struct UserCounter : Algorithm {
+    std::size_t users = 0;
+    Disposition on_user(const MsgPtr&) override {
+      ++users;
+      return Disposition::kHold;
+    }
+  } alg;
+  engine.attach(alg);
+  const auto m = Msg::control(static_cast<MsgType>(0x0999), kPeerA,
+                              kControlApp);
+  EXPECT_EQ(alg.process(m), Disposition::kHold);
+  EXPECT_EQ(alg.users, 1u);
+}
+
+}  // namespace
+}  // namespace iov

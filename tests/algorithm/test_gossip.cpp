@@ -1,0 +1,110 @@
+// GossipAlgorithm: dedup semantics (FakeEngine) and epidemic coverage on
+// the simulated substrate.
+#include "algorithm/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "fake_engine.h"
+#include "sim/sim_net.h"
+
+namespace iov {
+namespace {
+
+using test::FakeEngine;
+
+constexpr u32 kApp = 1;
+
+TEST(Gossip, FirstSightForwardsDuplicateSuppressed) {
+  FakeEngine engine;
+  GossipAlgorithm gossip(/*fanout=*/3, /*p=*/1.0);
+  engine.attach(gossip);
+  for (u16 p = 5001; p <= 5010; ++p) {
+    gossip.known_hosts().add(NodeId::loopback(p), engine.self());
+  }
+  const auto m =
+      Msg::data(NodeId::loopback(5001), kApp, 7, Buffer::pattern(32, 7));
+  gossip.process(m);
+  EXPECT_EQ(engine.sent.size(), 3u);  // fanout targets
+  EXPECT_EQ(gossip.seen_count(), 1u);
+  gossip.process(m->clone());
+  EXPECT_EQ(engine.sent.size(), 3u);  // duplicate: nothing more sent
+  EXPECT_EQ(gossip.suppressed(), 1u);
+}
+
+TEST(Gossip, ConsumeDeliversOnce) {
+  FakeEngine engine;
+  GossipAlgorithm gossip(2, 1.0);
+  engine.attach(gossip);
+  gossip.set_consume(kApp, true);
+  const auto m =
+      Msg::data(NodeId::loopback(5001), kApp, 1, Buffer::pattern(8, 1));
+  gossip.process(m);
+  gossip.process(m->clone());
+  EXPECT_EQ(engine.delivered_local.size(), 1u);
+}
+
+TEST(Gossip, MemoryBoundEvictsOldest) {
+  FakeEngine engine;
+  GossipAlgorithm gossip(1, 1.0, /*memory=*/4);
+  engine.attach(gossip);
+  const NodeId origin = NodeId::loopback(5001);
+  for (u32 seq = 0; seq < 6; ++seq) {
+    gossip.process(Msg::data(origin, kApp, seq, Buffer::pattern(4, seq)));
+  }
+  EXPECT_EQ(gossip.seen_count(), 6u);
+  // seq 0 was evicted from memory, so it floods again as "new".
+  gossip.process(Msg::data(origin, kApp, 0, Buffer::pattern(4, 0)));
+  EXPECT_EQ(gossip.seen_count(), 7u);
+  EXPECT_EQ(gossip.suppressed(), 0u);
+}
+
+TEST(Gossip, EpidemicCoverageOnSimulatedOverlay) {
+  sim::SimNet net;
+  struct Member {
+    sim::SimEngine* engine;
+    GossipAlgorithm* alg;
+    std::shared_ptr<apps::SinkApp> sink;
+  };
+  std::vector<Member> members;
+  constexpr int kNodes = 24;
+  constexpr u64 kMsgs = 10;
+  for (int i = 0; i < kNodes; ++i) {
+    auto algorithm = std::make_unique<GossipAlgorithm>(4, 1.0);
+    Member m;
+    m.alg = algorithm.get();
+    m.engine = &net.add_node(std::move(algorithm), sim::SimNodeConfig{});
+    m.sink = std::make_shared<apps::SinkApp>();
+    m.engine->register_app(kApp, m.sink);
+    m.alg->set_consume(kApp, true);
+    members.push_back(std::move(m));
+  }
+  for (const auto& m : members) net.bootstrap(m.engine->self(), 8);
+  // Node 0 becomes the source (replacing its sink registration; the
+  // coverage assertions below only inspect nodes 1..N-1).
+  members[0].engine->register_app(
+      kApp, std::make_shared<apps::BackToBackSource>(500, kMsgs));
+  net.run_for(millis(50));
+  net.deploy(members[0].engine->self(), kApp);
+  net.run_for(seconds(10.0));
+
+  // Epidemics are probabilistic: each message's flood covers almost all
+  // nodes (fanout 4 > the epidemic threshold), but individual misses are
+  // legitimate. Assert near-complete aggregate coverage and exact dedup.
+  u64 total_distinct = 0;
+  for (int i = 1; i < kNodes; ++i) {
+    const auto stats = members[static_cast<std::size_t>(i)].sink->stats(0);
+    total_distinct += stats.distinct;
+    EXPECT_GE(stats.distinct, kMsgs - 3) << "node " << i;
+    EXPECT_EQ(stats.duplicates, 0u) << "node " << i;
+  }
+  EXPECT_GE(total_distinct, (kNodes - 1) * kMsgs * 95 / 100);
+  // Redundant copies did arrive and were suppressed somewhere.
+  u64 suppressed = 0;
+  for (const auto& m : members) suppressed += m.alg->suppressed();
+  EXPECT_GT(suppressed, 0u);
+}
+
+}  // namespace
+}  // namespace iov

@@ -1,0 +1,72 @@
+#include "algorithm/known_hosts.h"
+
+#include <gtest/gtest.h>
+
+namespace iov {
+namespace {
+
+const NodeId kSelf = NodeId::loopback(1000);
+
+TEST(KnownHosts, AddIgnoresSelfAndInvalid) {
+  KnownHosts hosts;
+  EXPECT_FALSE(hosts.add(kSelf, kSelf));
+  EXPECT_FALSE(hosts.add(NodeId(), kSelf));
+  EXPECT_TRUE(hosts.empty());
+  EXPECT_TRUE(hosts.add(NodeId::loopback(1001), kSelf));
+  EXPECT_EQ(hosts.size(), 1u);
+}
+
+TEST(KnownHosts, AddIsIdempotent) {
+  KnownHosts hosts;
+  EXPECT_TRUE(hosts.add(NodeId::loopback(1001), kSelf));
+  EXPECT_FALSE(hosts.add(NodeId::loopback(1001), kSelf));
+  EXPECT_EQ(hosts.size(), 1u);
+}
+
+TEST(KnownHosts, RemoveAfterFailure) {
+  KnownHosts hosts;
+  hosts.add(NodeId::loopback(1001), kSelf);
+  EXPECT_TRUE(hosts.remove(NodeId::loopback(1001)));
+  EXPECT_FALSE(hosts.remove(NodeId::loopback(1001)));
+  EXPECT_TRUE(hosts.empty());
+}
+
+TEST(KnownHosts, AllIsSortedAndStable) {
+  KnownHosts hosts;
+  hosts.add(NodeId::loopback(1003), kSelf);
+  hosts.add(NodeId::loopback(1001), kSelf);
+  hosts.add(NodeId::loopback(1002), kSelf);
+  const auto all = hosts.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], NodeId::loopback(1001));
+  EXPECT_EQ(all[2], NodeId::loopback(1003));
+}
+
+TEST(KnownHosts, ListRoundTrip) {
+  KnownHosts hosts;
+  hosts.add(NodeId::loopback(1001), kSelf);
+  hosts.add(NodeId::loopback(1002), kSelf);
+  KnownHosts other;
+  EXPECT_EQ(other.add_from_list(hosts.to_list(), kSelf), 2u);
+  EXPECT_TRUE(other.contains(NodeId::loopback(1001)));
+  EXPECT_TRUE(other.contains(NodeId::loopback(1002)));
+}
+
+TEST(KnownHosts, AddFromListSkipsJunkAndSelf) {
+  KnownHosts hosts;
+  const auto added = hosts.add_from_list(
+      "127.0.0.1:1001, garbage ,,127.0.0.1:1000,127.0.0.1:70000", kSelf);
+  EXPECT_EQ(added, 1u);  // only 1001; self and junk skipped
+  EXPECT_TRUE(hosts.contains(NodeId::loopback(1001)));
+}
+
+TEST(KnownHosts, SampleBounds) {
+  KnownHosts hosts;
+  for (u16 p = 1001; p <= 1010; ++p) hosts.add(NodeId::loopback(p), kSelf);
+  Rng rng(5);
+  EXPECT_EQ(hosts.sample(3, rng).size(), 3u);
+  EXPECT_EQ(hosts.sample(50, rng).size(), 10u);
+}
+
+}  // namespace
+}  // namespace iov

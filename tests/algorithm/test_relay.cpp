@@ -1,0 +1,132 @@
+// RelayAlgorithm unit tests against FakeEngine: zero-copy fan-out,
+// per-app isolation, runtime control reconfiguration, consume flags, and
+// broken-link pruning.
+#include "algorithm/relay.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_engine.h"
+
+namespace iov {
+namespace {
+
+using test::FakeEngine;
+
+const NodeId kChild1 = NodeId::loopback(2001);
+const NodeId kChild2 = NodeId::loopback(2002);
+const NodeId kUpstream = NodeId::loopback(2003);
+
+MsgPtr data_msg(u32 app, u32 seq = 0) {
+  return Msg::data(kUpstream, app, seq, Buffer::pattern(64, seq));
+}
+
+TEST(RelayAlgorithm, ForwardsSameMessageToAllChildren) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.add_child(1, kChild1);
+  relay.add_child(1, kChild2);
+  const auto m = data_msg(1);
+  relay.process(m);
+  ASSERT_EQ(engine.sent.size(), 2u);
+  // Zero copy: the identical MsgPtr goes to each child.
+  EXPECT_EQ(engine.sent[0].msg.get(), m.get());
+  EXPECT_EQ(engine.sent[1].msg.get(), m.get());
+}
+
+TEST(RelayAlgorithm, AppsAreIsolated) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.add_child(1, kChild1);
+  relay.add_child(2, kChild2);
+  relay.process(data_msg(1));
+  ASSERT_EQ(engine.sent.size(), 1u);
+  EXPECT_EQ(engine.sent[0].dest, kChild1);
+  relay.process(data_msg(2));
+  ASSERT_EQ(engine.sent.size(), 2u);
+  EXPECT_EQ(engine.sent[1].dest, kChild2);
+}
+
+TEST(RelayAlgorithm, NoChildrenConsumesSilently) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.process(data_msg(1));
+  EXPECT_TRUE(engine.sent.empty());
+  EXPECT_TRUE(engine.delivered_local.empty());
+}
+
+TEST(RelayAlgorithm, ConsumeDeliversLocallyAndForwards) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.add_child(1, kChild1);
+  relay.set_consume(1, true);
+  relay.process(data_msg(1));
+  EXPECT_EQ(engine.delivered_local.size(), 1u);
+  EXPECT_EQ(engine.sent.size(), 1u);
+  relay.set_consume(1, false);
+  relay.process(data_msg(1, 1));
+  EXPECT_EQ(engine.delivered_local.size(), 1u);  // unchanged
+}
+
+TEST(RelayAlgorithm, ControlMessagesReconfigureAtRuntime) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.process(Msg::control(MsgType::kControl, NodeId(), kControlApp,
+                             RelayAlgorithm::kAddChild, 1,
+                             kChild1.to_string()));
+  EXPECT_EQ(relay.children(1).count(kChild1), 1u);
+  relay.process(Msg::control(MsgType::kControl, NodeId(), kControlApp,
+                             RelayAlgorithm::kRemoveChild, 1,
+                             kChild1.to_string()));
+  EXPECT_TRUE(relay.children(1).empty());
+}
+
+TEST(RelayAlgorithm, MalformedControlIgnored) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.process(Msg::control(MsgType::kControl, NodeId(), kControlApp,
+                             RelayAlgorithm::kAddChild, 1, "not-an-address"));
+  EXPECT_TRUE(relay.children(1).empty());
+  relay.process(Msg::control(MsgType::kControl, NodeId(), kControlApp,
+                             /*unknown op*/ 99, 1, kChild1.to_string()));
+  EXPECT_TRUE(relay.children(1).empty());
+}
+
+TEST(RelayAlgorithm, JoinControlSetsConsume) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp, 1));
+  relay.process(data_msg(1));
+  EXPECT_EQ(engine.delivered_local.size(), 1u);
+}
+
+TEST(RelayAlgorithm, BrokenLinkPrunesChildEverywhere) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.add_child(1, kChild1);
+  relay.add_child(2, kChild1);
+  relay.add_child(2, kChild2);
+  relay.process(Msg::control(MsgType::kBrokenLink, kChild1, kControlApp));
+  EXPECT_TRUE(relay.children(1).empty());
+  EXPECT_EQ(relay.children(2).count(kChild2), 1u);
+  EXPECT_EQ(relay.children(2).size(), 1u);
+}
+
+TEST(RelayAlgorithm, StatusMentionsEdgeCount) {
+  FakeEngine engine;
+  RelayAlgorithm relay;
+  engine.attach(relay);
+  relay.add_child(1, kChild1);
+  relay.add_child(1, kChild2);
+  EXPECT_NE(relay.status().find("edges=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iov

@@ -1,0 +1,131 @@
+// Application-layer tests: source production semantics (bounded,
+// back-to-back, CBR pacing, timestamps) and sink accounting (duplicates,
+// corruption, goodput, delay).
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "message/codec.h"
+
+namespace iov::apps {
+namespace {
+
+const NodeId kSelf = NodeId::loopback(1);
+const NodeId kOrigin = NodeId::loopback(2);
+
+TEST(BackToBackSource, AlwaysReadyUntilBound) {
+  BackToBackSource source(100, /*max_msgs=*/3);
+  EXPECT_NE(source.next_message(1, kSelf, 0), nullptr);
+  EXPECT_NE(source.next_message(1, kSelf, 0), nullptr);
+  EXPECT_NE(source.next_message(1, kSelf, 0), nullptr);
+  EXPECT_EQ(source.next_message(1, kSelf, 0), nullptr);
+  EXPECT_EQ(source.produced(), 3u);
+}
+
+TEST(BackToBackSource, UnboundedKeepsProducing) {
+  BackToBackSource source(10);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(source.next_message(1, kSelf, 0), nullptr);
+  }
+}
+
+TEST(BackToBackSource, MessagesCarryPatternedPayload) {
+  BackToBackSource source(64);
+  const auto m0 = source.next_message(7, kSelf, 0);
+  const auto m1 = source.next_message(7, kSelf, 0);
+  EXPECT_EQ(m0->app(), 7u);
+  EXPECT_EQ(m0->origin(), kSelf);
+  EXPECT_EQ(m0->payload()->bytes(), Buffer::pattern(64, 0)->bytes());
+  EXPECT_EQ(m1->payload()->bytes(), Buffer::pattern(64, 1)->bytes());
+}
+
+TEST(CbrSource, PacesToConfiguredRate) {
+  CbrSource source(1000, 10e3);  // 10 messages/second
+  // Nothing before the allowance accrues.
+  EXPECT_EQ(source.next_message(1, kSelf, 0), nullptr);
+  // After exactly 1 second, 10 messages are available.
+  int available = 0;
+  while (source.next_message(1, kSelf, seconds(1.0))) ++available;
+  EXPECT_EQ(available, 10);
+  // Half a second later, 5 more.
+  available = 0;
+  while (source.next_message(1, kSelf, seconds(1.5))) ++available;
+  EXPECT_EQ(available, 5);
+}
+
+TEST(CbrSource, TimestampedEmbedsEmissionTime) {
+  CbrSource source(100, 1e6, /*timestamped=*/true);
+  // The allowance clock starts at the first poll.
+  EXPECT_EQ(source.next_message(1, kSelf, seconds(1.0)), nullptr);
+  const auto m = source.next_message(1, kSelf, seconds(2.0));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(codec::read_u64(m->payload()->data()),
+            static_cast<u64>(seconds(2.0)));
+}
+
+TEST(SinkApp, CountsDistinctAndDuplicates) {
+  SinkApp sink;
+  const auto m = Msg::data(kOrigin, 1, 5, Buffer::pattern(10, 5));
+  sink.deliver(m, 0);
+  sink.deliver(m, 10);      // duplicate (same origin+seq)
+  sink.deliver(m->clone(), 20);  // still the same identity
+  const auto other = Msg::data(kSelf, 1, 5, Buffer::pattern(10, 5));
+  sink.deliver(other, 30);  // different origin: distinct
+  const auto stats = sink.stats(40);
+  EXPECT_EQ(stats.msgs, 4u);
+  EXPECT_EQ(stats.distinct, 2u);
+  EXPECT_EQ(stats.duplicates, 2u);
+}
+
+TEST(SinkApp, DetectsCorruption) {
+  SinkApp sink(/*expected_payload_bytes=*/32);
+  sink.deliver(Msg::data(kOrigin, 1, 3, Buffer::pattern(32, 3)), 0);
+  EXPECT_EQ(sink.stats(0).corrupt, 0u);
+  // Wrong seed for the sequence number: corrupt.
+  sink.deliver(Msg::data(kOrigin, 1, 4, Buffer::pattern(32, 99)), 0);
+  EXPECT_EQ(sink.stats(0).corrupt, 1u);
+  // Wrong size: corrupt.
+  sink.deliver(Msg::data(kOrigin, 1, 5, Buffer::pattern(16, 5)), 0);
+  EXPECT_EQ(sink.stats(0).corrupt, 2u);
+}
+
+TEST(SinkApp, MeanGoodputOverDeliverySpan) {
+  SinkApp sink;
+  for (int i = 0; i < 11; ++i) {
+    sink.deliver(Msg::data(kOrigin, 1, static_cast<u32>(i),
+                           Buffer::pattern(1000, 0)),
+                 millis(100) * i);
+  }
+  // 11 kB over 1.0 s of delivery span.
+  EXPECT_NEAR(sink.mean_goodput(), 11000.0, 1.0);
+}
+
+TEST(SinkApp, DelayTrackingFromTimestamps) {
+  SinkApp sink;
+  sink.track_delay(true);
+  std::vector<u8> payload(20, 0);
+  codec::write_u64(payload.data(), static_cast<u64>(seconds(1.0)));
+  sink.deliver(Msg::data(kOrigin, 1, 0, Buffer::wrap(std::move(payload))),
+               seconds(1.0) + millis(300));
+  EXPECT_NEAR(sink.mean_delay(), static_cast<double>(millis(300)), 1.0);
+  EXPECT_NEAR(sink.max_delay(), static_cast<double>(millis(300)), 1.0);
+}
+
+TEST(SinkApp, DelayIgnoresImplausibleTimestamps) {
+  SinkApp sink;
+  sink.track_delay(true);
+  std::vector<u8> payload(20, 0);
+  codec::write_u64(payload.data(), static_cast<u64>(seconds(100.0)));
+  // "Sent" in the future relative to delivery: ignored.
+  sink.deliver(Msg::data(kOrigin, 1, 0, Buffer::wrap(std::move(payload))),
+               seconds(1.0));
+  EXPECT_EQ(sink.mean_delay(), 0.0);
+}
+
+TEST(SinkApp, SinksNeverProduce) {
+  SinkApp sink;
+  EXPECT_EQ(sink.next_message(1, kSelf, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace iov::apps

@@ -1,0 +1,119 @@
+// Streaming application tests: GOP structure and pacing of the source,
+// playout accounting at the sink, and end-to-end quality on the simulator
+// under sufficient vs insufficient bandwidth — the delay-sensitive
+// workload class of §2.4.
+#include "apps/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithm/relay.h"
+#include "sim/sim_net.h"
+
+namespace iov::apps {
+namespace {
+
+const NodeId kSelf = NodeId::loopback(1);
+constexpr u32 kApp = 1;
+
+TEST(VideoSource, GopStructureAndPacing) {
+  VideoSource source(10.0, /*gop=*/5, /*iframe=*/5000, /*pframe=*/1000);
+  EXPECT_DOUBLE_EQ(source.mean_bitrate(), 10.0 * (5000 + 4 * 1000) / 5.0);
+
+  // Nothing before its frame time.
+  ASSERT_NE(source.next_message(kApp, kSelf, 0), nullptr);  // frame 0 at t=0
+  EXPECT_EQ(source.next_message(kApp, kSelf, millis(50)), nullptr);
+  const auto frame1 = source.next_message(kApp, kSelf, millis(100));
+  ASSERT_NE(frame1, nullptr);
+
+  // Collect a full GOP and check sizes/types.
+  std::vector<MsgPtr> frames{frame1};
+  for (int i = 2; i <= 5; ++i) {
+    frames.push_back(source.next_message(kApp, kSelf, millis(100) * i));
+    ASSERT_NE(frames.back(), nullptr);
+  }
+  FrameInfo info;
+  ASSERT_TRUE(FrameInfo::parse(*frames[3], &info));  // frame 4: P
+  EXPECT_EQ(info.type, FrameType::kPFrame);
+  EXPECT_EQ(frames[3]->payload_size(), 1000u);
+  ASSERT_TRUE(FrameInfo::parse(*frames[4], &info));  // frame 5: next I
+  EXPECT_EQ(info.type, FrameType::kIFrame);
+  EXPECT_EQ(frames[4]->payload_size(), 5000u);
+  EXPECT_EQ(info.frame_id, 5u);
+  EXPECT_EQ(info.emitted, millis(500));
+}
+
+TEST(PlayoutSink, OnTimeAndLateAccounting) {
+  PlayoutSink sink(10.0, /*startup=*/millis(200));
+  VideoSource source(10.0, 5, 2000, 1000);
+  // Frame 0 emitted at t=0, arrives at t=50ms: base = 250ms.
+  auto f0 = source.next_message(kApp, kSelf, 0);
+  sink.deliver(f0, millis(50));
+  auto s = sink.stats(millis(50));
+  EXPECT_EQ(s.on_time, 1u);
+  EXPECT_EQ(s.playout_base, millis(250));
+
+  // Frame 1 (due at base + 100 = 350ms) arrives at 300: on time.
+  auto f1 = source.next_message(kApp, kSelf, millis(100));
+  sink.deliver(f1, millis(300));
+  // Frame 2 (due 450ms) arrives at 600: late.
+  auto f2 = source.next_message(kApp, kSelf, millis(200));
+  sink.deliver(f2, millis(600));
+  // A duplicate of frame 2 is not double counted.
+  sink.deliver(f2->clone(), millis(650));
+
+  s = sink.stats(millis(700));
+  EXPECT_EQ(s.received, 3u);
+  EXPECT_EQ(s.on_time, 2u);
+  EXPECT_EQ(s.late, 1u);
+  EXPECT_EQ(s.duplicates, 1u);
+  EXPECT_GT(s.mean_delay_ms, 0.0);
+}
+
+TEST(PlayoutSink, MissingFramesCountAgainstQuality) {
+  PlayoutSink sink(10.0, millis(100));
+  VideoSource source(10.0, 5, 2000, 1000);
+  sink.deliver(source.next_message(kApp, kSelf, 0), millis(10));
+  // base = 110ms; at t = 1.11s ten frames are due but only one arrived.
+  const auto s = sink.stats(millis(1110));
+  EXPECT_EQ(s.missing(millis(1110)), 9u);
+  EXPECT_NEAR(s.on_time_ratio(millis(1110)), 0.1, 0.01);
+}
+
+TEST(Streaming, QualityDependsOnBandwidthEndToEnd) {
+  // 200 KB/s video over a relay: clean when the path affords it, heavy
+  // late/missing when the relay is capped below the bitrate.
+  const auto run = [](double relay_cap) {
+    sim::SimNet net;
+    auto alg_a = std::make_unique<RelayAlgorithm>();
+    auto alg_b = std::make_unique<RelayAlgorithm>();
+    auto alg_c = std::make_unique<RelayAlgorithm>();
+    auto* relay_a = alg_a.get();
+    auto* relay_b = alg_b.get();
+    auto* relay_c = alg_c.get();
+    sim::SimNodeConfig small;  // delay-sensitive: small buffers (§2.4)
+    small.recv_buffer_msgs = 5;
+    small.send_buffer_msgs = 5;
+    auto& a = net.add_node(std::move(alg_a), small);
+    auto& b = net.add_node(std::move(alg_b), small);
+    auto& c = net.add_node(std::move(alg_c), small);
+    auto source = std::make_shared<VideoSource>(25.0, 10, 20000, 6000);
+    auto sink = std::make_shared<PlayoutSink>(25.0, millis(500));
+    a.register_app(kApp, source);
+    c.register_app(kApp, sink);
+    b.bandwidth().set_node_up(relay_cap);
+    relay_a->add_child(kApp, b.self());
+    relay_b->add_child(kApp, c.self());
+    relay_c->set_consume(kApp, true);
+    net.deploy(a.self(), kApp);
+    net.run_for(seconds(20.0));
+    return sink->stats(net.now()).on_time_ratio(net.now());
+  };
+
+  const double clean = run(400e3);   // plenty of headroom (~193 KB/s video)
+  const double starved = run(60e3);  // well under the bitrate
+  EXPECT_GT(clean, 0.95);
+  EXPECT_LT(starved, 0.5);
+}
+
+}  // namespace
+}  // namespace iov::apps

@@ -1,0 +1,133 @@
+// GF(2^8) field axioms, verified exhaustively where cheap and by seeded
+// parameterized sweeps where not.
+#include "coding/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace iov::coding {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(gf_add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(gf_sub(0x57, 0x83), gf_add(0x57, 0x83));
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const u8 x = static_cast<u8>(a);
+    EXPECT_EQ(gf_mul(x, 1), x);
+    EXPECT_EQ(gf_mul(1, x), x);
+    EXPECT_EQ(gf_mul(x, 0), 0);
+    EXPECT_EQ(gf_mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, KnownProducts) {
+  // Hand-checked products in the 0x11d field.
+  EXPECT_EQ(gf_mul(2, 2), 4);
+  EXPECT_EQ(gf_mul(0x80, 2), 0x1d);   // overflow wraps via the polynomial
+  EXPECT_EQ(gf_mul(3, 7), 9);         // (x+1)(x^2+x+1) = x^3+1
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const u8 a = static_cast<u8>(rng.below(256));
+    const u8 b = static_cast<u8>(rng.below(256));
+    EXPECT_EQ(gf_mul(a, b), gf_mul(b, a));
+  }
+}
+
+TEST(Gf256, MultiplicationAssociates) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const u8 a = static_cast<u8>(rng.below(256));
+    const u8 b = static_cast<u8>(rng.below(256));
+    const u8 c = static_cast<u8>(rng.below(256));
+    EXPECT_EQ(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const u8 a = static_cast<u8>(rng.below(256));
+    const u8 b = static_cast<u8>(rng.below(256));
+    const u8 c = static_cast<u8>(rng.below(256));
+    EXPECT_EQ(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const u8 x = static_cast<u8>(a);
+    EXPECT_EQ(gf_mul(x, gf_inv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const u8 a = static_cast<u8>(rng.below(256));
+    const u8 b = static_cast<u8>(1 + rng.below(255));
+    EXPECT_EQ(gf_div(gf_mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (int a = 0; a < 256; ++a) {
+    const u8 x = static_cast<u8>(a);
+    u8 expected = 1;
+    for (unsigned n = 0; n < 10; ++n) {
+      EXPECT_EQ(gf_pow(x, n), expected) << "a=" << a << " n=" << n;
+      expected = gf_mul(expected, x);
+    }
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 0x02 generates the multiplicative group of the 0x11d field: 255
+  // distinct powers. (0x03, a generator of the AES 0x11b field, has
+  // order 51 here.)
+  std::set<u8> seen;
+  for (unsigned n = 0; n < 255; ++n) seen.insert(gf_pow(2, n));
+  EXPECT_EQ(seen.size(), 255u);
+  std::set<u8> three;
+  for (unsigned n = 0; n < 255; ++n) three.insert(gf_pow(3, n));
+  EXPECT_EQ(three.size(), 51u);
+}
+
+TEST(Gf256, AxpyMatchesScalarLoop) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const u8 coeff = static_cast<u8>(rng.below(256));
+    std::vector<u8> src(257);
+    std::vector<u8> dst(257);
+    for (auto& v : src) v = static_cast<u8>(rng.below(256));
+    for (auto& v : dst) v = static_cast<u8>(rng.below(256));
+    std::vector<u8> expected = dst;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      expected[i] = gf_add(expected[i], gf_mul(coeff, src[i]));
+    }
+    gf_axpy(dst.data(), src.data(), coeff, src.size());
+    EXPECT_EQ(dst, expected);
+  }
+}
+
+TEST(Gf256, ScaleMatchesScalarLoop) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const u8 coeff = static_cast<u8>(rng.below(256));
+    std::vector<u8> dst(129);
+    for (auto& v : dst) v = static_cast<u8>(rng.below(256));
+    std::vector<u8> expected = dst;
+    for (auto& v : expected) v = gf_mul(coeff, v);
+    gf_scale(dst.data(), coeff, dst.size());
+    EXPECT_EQ(dst, expected);
+  }
+}
+
+}  // namespace
+}  // namespace iov::coding

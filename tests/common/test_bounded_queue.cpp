@@ -1,0 +1,180 @@
+// The bounded circular queue is the shared buffer between engine and
+// link threads; these tests pin down FIFO order, capacity, blocking and
+// close semantics, plus a producer/consumer stress run.
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace iov {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CapacityEnforced) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_EQ(q.size(), 3u);
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(4));
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueue, WrapAroundKeepsOrder) {
+  BoundedQueue<int> q(4);
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 10; ++round) {
+    while (q.try_push(next_in)) ++next_in;
+    for (int i = 0; i < 2; ++i) {
+      auto v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_out++);
+    }
+  }
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.size(), 1u);  // producer is blocked
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, PopBlocksUntilElement) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.push(42));
+  consumer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingElements) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(millis(30)).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(BoundedQueue, PopForReturnsElement) {
+  BoundedQueue<int> q(1);
+  q.try_push(5);
+  EXPECT_EQ(q.pop_for(millis(30)).value(), 5);
+}
+
+TEST(BoundedQueue, MoveOnlyElements) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(9)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 9);
+}
+
+TEST(BoundedQueue, StressSpscPreservesSequence) {
+  BoundedQueue<int> q(16);
+  constexpr int kCount = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    ASSERT_EQ(*v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(BoundedQueue, StressMpmcDeliversEverythingOnce) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 5000;
+  constexpr int kProducers = 3;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::mutex seen_mu;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        seen.push_back(*v);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kPerProducer * kProducers));
+  for (int i = 0; i < kPerProducer * kProducers; ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace iov

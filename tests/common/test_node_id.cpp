@@ -1,0 +1,74 @@
+#include "common/node_id.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace iov {
+namespace {
+
+TEST(NodeId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.to_string(), "0.0.0.0:0");
+}
+
+TEST(NodeId, ToStringRoundTrip) {
+  const NodeId id(0xc0a80164, 8080);  // 192.168.1.100
+  EXPECT_EQ(id.to_string(), "192.168.1.100:8080");
+  const auto parsed = NodeId::parse(id.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(NodeId, LoopbackHelper) {
+  const NodeId id = NodeId::loopback(9000);
+  EXPECT_EQ(id.to_string(), "127.0.0.1:9000");
+  EXPECT_TRUE(id.valid());
+}
+
+TEST(NodeId, ParseRejectsMalformed) {
+  EXPECT_FALSE(NodeId::parse("").has_value());
+  EXPECT_FALSE(NodeId::parse("1.2.3.4").has_value());
+  EXPECT_FALSE(NodeId::parse("1.2.3:80").has_value());
+  EXPECT_FALSE(NodeId::parse("1.2.3.4.5:80").has_value());
+  EXPECT_FALSE(NodeId::parse("256.2.3.4:80").has_value());
+  EXPECT_FALSE(NodeId::parse("1.2.3.4:65536").has_value());
+  EXPECT_FALSE(NodeId::parse("1.2.3.4:-1").has_value());
+  EXPECT_FALSE(NodeId::parse("a.b.c.d:80").has_value());
+  EXPECT_FALSE(NodeId::parse("1.2.3.4:port").has_value());
+}
+
+TEST(NodeId, ParseBoundaryValues) {
+  const auto max = NodeId::parse("255.255.255.255:65535");
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->ip(), 0xffffffffu);
+  EXPECT_EQ(max->port(), 65535);
+
+  const auto zero = NodeId::parse("0.0.0.0:0");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_FALSE(zero->valid());
+}
+
+TEST(NodeId, OrderingIsTotal) {
+  const NodeId a(1, 5);
+  const NodeId b(1, 6);
+  const NodeId c(2, 0);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, NodeId(1, 5));
+}
+
+TEST(NodeId, HashSpreadsPorts) {
+  // Virtualized nodes differ only in port; the hash must not collide
+  // pathologically.
+  std::unordered_set<std::size_t> hashes;
+  for (u16 port = 1000; port < 2000; ++port) {
+    hashes.insert(std::hash<NodeId>{}(NodeId::loopback(port)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace iov

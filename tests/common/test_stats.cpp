@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace iov {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 1.0);
+}
+
+TEST(EmpiricalCdf, InterleavedAddAndQuery) {
+  EmpiricalCdf cdf;
+  cdf.add(10.0);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  cdf.add(20.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(20.0), 1.0);
+}
+
+TEST(EmpiricalCdf, TableIsMonotone) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 50; ++i) cdf.add(static_cast<double>(i % 10));
+  const auto table = cdf.table(0.0, 10.0, 21);
+  ASSERT_EQ(table.size(), 21u);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GE(table[i].second, table[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(table.back().second, 1.0);
+}
+
+TEST(TimeSeriesBins, AccumulatesIntoCorrectBins) {
+  TimeSeriesBins bins(seconds(60.0));
+  bins.add(seconds(5.0), 100.0);
+  bins.add(seconds(59.0), 50.0);
+  bins.add(seconds(61.0), 25.0);
+  bins.add(seconds(200.0), 10.0);
+  EXPECT_EQ(bins.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(bins.bin(0), 150.0);
+  EXPECT_DOUBLE_EQ(bins.bin(1), 25.0);
+  EXPECT_DOUBLE_EQ(bins.bin(2), 0.0);
+  EXPECT_DOUBLE_EQ(bins.bin(3), 10.0);
+  EXPECT_DOUBLE_EQ(bins.bin(99), 0.0);
+}
+
+TEST(TimeSeriesBins, NegativeTimeIgnored) {
+  TimeSeriesBins bins(seconds(1.0));
+  bins.add(-1, 5.0);
+  EXPECT_EQ(bins.bin_count(), 0u);
+}
+
+TEST(FormatRow, PadsCells) {
+  const auto row = format_row({"a", "bb", "ccc"}, 4);
+  EXPECT_EQ(row, "a   bb  ccc");
+}
+
+TEST(FormatRow, LongCellGetsSingleSpace) {
+  const auto row = format_row({"verylongcell", "x"}, 4);
+  EXPECT_EQ(row, "verylongcell x");
+}
+
+}  // namespace
+}  // namespace iov

@@ -1,0 +1,79 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace iov {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("\t\n abc \r\n"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_FALSE(starts_with("barfoo", "foo"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, ParseU64Valid) {
+  unsigned long long v = 0;
+  EXPECT_TRUE(parse_u64("0", 100, &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("100", 100, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", ~0ULL, &v));
+  EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(Strings, ParseU64Rejects) {
+  unsigned long long v = 0;
+  EXPECT_FALSE(parse_u64("", 100, &v));
+  EXPECT_FALSE(parse_u64("101", 100, &v));       // over max
+  EXPECT_FALSE(parse_u64("-1", 100, &v));        // sign
+  EXPECT_FALSE(parse_u64("12a", 100, &v));       // non-digit
+  EXPECT_FALSE(parse_u64(" 5", 100, &v));        // whitespace
+  EXPECT_FALSE(parse_u64("18446744073709551616", ~0ULL, &v));  // overflow
+}
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+  EXPECT_EQ(strf("%.2f", 1.5), "1.50");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace iov

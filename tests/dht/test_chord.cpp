@@ -1,0 +1,201 @@
+// Chord on the simulated substrate: ring formation and stabilization,
+// lookup correctness against ground truth, O(log n) routing via fingers,
+// the key-value layer, and healing after node failure.
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sim/sim_net.h"
+
+namespace iov::dht {
+namespace {
+
+struct Ring {
+  sim::SimNet net;
+  std::vector<sim::SimEngine*> engines;
+  std::vector<ChordAlgorithm*> algs;
+
+  explicit Ring(std::size_t n, Duration settle = seconds(40.0)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto algorithm = std::make_unique<ChordAlgorithm>();
+      algs.push_back(algorithm.get());
+      engines.push_back(&net.add_node(std::move(algorithm),
+                                      sim::SimNodeConfig{}));
+    }
+    net.run_for(millis(10));
+    for (std::size_t i = 1; i < n; ++i) {
+      algs[i]->join(engines[0]->self());
+      net.run_for(millis(500));
+    }
+    net.run_for(settle);
+  }
+
+  /// Nodes sorted by ring id.
+  std::vector<std::size_t> sorted_by_id() const {
+    std::vector<std::size_t> order(engines.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return algs[a]->id() < algs[b]->id();
+    });
+    return order;
+  }
+
+  /// Ground-truth owner of `key`: the first node clockwise from key.
+  std::size_t true_owner(u64 key) const {
+    std::size_t best = 0;
+    u64 best_distance = ~0ULL;
+    for (std::size_t i = 0; i < algs.size(); ++i) {
+      const u64 distance = algs[i]->id() - key;  // mod 2^64
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+TEST(Chord, SingleNodeOwnsEverything) {
+  Ring ring(1, seconds(2.0));
+  EXPECT_EQ(ring.algs[0]->successor(), ring.engines[0]->self());
+  ring.algs[0]->put("k", "v");
+  ring.algs[0]->get("k", 1);
+  ASSERT_EQ(ring.algs[0]->gets().size(), 1u);
+  EXPECT_TRUE(ring.algs[0]->gets()[0].found);
+  EXPECT_EQ(ring.algs[0]->gets()[0].value, "v");
+}
+
+TEST(Chord, RingStabilizesToSortedOrder) {
+  Ring ring(8);
+  const auto order = ring.sorted_by_id();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t node = order[i];
+    const std::size_t next = order[(i + 1) % order.size()];
+    EXPECT_EQ(ring.algs[node]->successor(), ring.engines[next]->self())
+        << "node " << node;
+    EXPECT_EQ(ring.algs[next]->predecessor(), ring.engines[node]->self())
+        << "node " << next;
+  }
+}
+
+TEST(Chord, LookupsResolveToTrueOwner) {
+  Ring ring(10);
+  Rng rng(5);
+  u32 request = 1;
+  std::vector<std::pair<u32, u64>> issued;
+  for (int i = 0; i < 30; ++i) {
+    const u64 key = rng();
+    const std::size_t from = rng.below(ring.algs.size());
+    ring.algs[from]->lookup(key, request);
+    issued.push_back({request, key});
+    ++request;
+  }
+  ring.net.run_for(seconds(5.0));
+
+  std::size_t resolved = 0;
+  for (std::size_t from = 0; from < ring.algs.size(); ++from) {
+    for (const auto& result : ring.algs[from]->lookups()) {
+      for (const auto& [req, key] : issued) {
+        if (req != result.request) continue;
+        ++resolved;
+        EXPECT_EQ(result.owner,
+                  ring.engines[ring.true_owner(key)]->self())
+            << "key " << key;
+      }
+    }
+  }
+  EXPECT_EQ(resolved, issued.size());
+}
+
+TEST(Chord, FingersKeepHopsLogarithmic) {
+  Ring ring(16);
+  Rng rng(6);
+  for (u32 request = 1; request <= 40; ++request) {
+    ring.algs[0]->lookup(rng(), request);
+  }
+  ring.net.run_for(seconds(5.0));
+  ASSERT_EQ(ring.algs[0]->lookups().size(), 40u);
+  double total_hops = 0;
+  for (const auto& result : ring.algs[0]->lookups()) {
+    total_hops += result.hops;
+    EXPECT_LE(result.hops, 8u);  // lg(16) = 4, generous slack
+  }
+  EXPECT_LE(total_hops / 40.0, 5.0);
+}
+
+TEST(Chord, PutGetAcrossTheRing) {
+  Ring ring(8);
+  // Writes from one node, reads from another.
+  for (int i = 0; i < 20; ++i) {
+    ring.algs[1]->put(strf("key%d", i), strf("value%d", i));
+  }
+  ring.net.run_for(seconds(3.0));
+  for (u32 i = 0; i < 20; ++i) {
+    ring.algs[5]->get(strf("key%u", i), i);
+  }
+  ring.net.run_for(seconds(3.0));
+  ASSERT_EQ(ring.algs[5]->gets().size(), 20u);
+  for (const auto& result : ring.algs[5]->gets()) {
+    EXPECT_TRUE(result.found) << "request " << result.request;
+    EXPECT_EQ(result.value, strf("value%u", result.request));
+  }
+  // Keys are spread across nodes, not piled on one.
+  std::size_t nodes_with_keys = 0;
+  for (const auto* alg : ring.algs) {
+    nodes_with_keys += alg->stored_keys() > 0 ? 1 : 0;
+  }
+  EXPECT_GE(nodes_with_keys, 3u);
+}
+
+TEST(Chord, GetMissingKeyReportsNotFound) {
+  Ring ring(6);
+  ring.algs[2]->get("never-stored", 9);
+  ring.net.run_for(seconds(3.0));
+  ASSERT_EQ(ring.algs[2]->gets().size(), 1u);
+  EXPECT_FALSE(ring.algs[2]->gets()[0].found);
+}
+
+TEST(Chord, RingHealsAfterNodeFailure) {
+  Ring ring(8);
+  const auto order = ring.sorted_by_id();
+  // Kill a mid-ring node.
+  const std::size_t victim = order[3];
+  ring.net.kill_node(ring.engines[victim]->self());
+  ring.net.run_for(seconds(30.0));
+
+  // The remaining ring is consistent again: predecessor/successor chains
+  // skip the victim.
+  std::vector<std::size_t> alive;
+  for (const auto idx : order) {
+    if (idx != victim) alive.push_back(idx);
+  }
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const std::size_t node = alive[i];
+    const std::size_t next = alive[(i + 1) % alive.size()];
+    EXPECT_EQ(ring.algs[node]->successor(), ring.engines[next]->self())
+        << "node " << node;
+  }
+
+  // Lookups still resolve (to live nodes).
+  Rng rng(7);
+  const std::size_t prober = alive[0];
+  for (u32 request = 100; request < 110; ++request) {
+    ring.algs[prober]->lookup(rng(), request);
+  }
+  ring.net.run_for(seconds(5.0));
+  std::size_t resolved = 0;
+  for (const auto& result : ring.algs[prober]->lookups()) {
+    if (result.request >= 100) {
+      ++resolved;
+      EXPECT_NE(result.owner, ring.engines[victim]->self());
+    }
+  }
+  EXPECT_EQ(resolved, 10u);
+}
+
+}  // namespace
+}  // namespace iov::dht

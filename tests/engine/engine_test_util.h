@@ -1,0 +1,93 @@
+// Shared helpers for engine integration tests: condition polling and a
+// recording relay algorithm whose observations a test thread can read
+// safely.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "algorithm/relay.h"
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace iov::test {
+
+/// Polls `pred` every 5 ms until it holds or `timeout` elapses.
+inline bool wait_until(const std::function<bool()>& pred,
+                       Duration timeout = seconds(5.0)) {
+  const TimePoint deadline = RealClock::instance().now() + timeout;
+  while (RealClock::instance().now() < deadline) {
+    if (pred()) return true;
+    sleep_for(millis(5));
+  }
+  return pred();
+}
+
+/// RelayAlgorithm that additionally records every non-data event it sees,
+/// for assertions from the test thread.
+class RecordingRelay : public RelayAlgorithm {
+ public:
+  struct Event {
+    MsgType type;
+    NodeId origin;
+    u32 app;
+    i32 p0;
+  };
+
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  std::size_t count(MsgType type) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& e : events_) n += (e.type == type) ? 1 : 0;
+    return n;
+  }
+
+  bool saw(MsgType type, const NodeId& origin) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : events_) {
+      if (e.type == type && e.origin == origin) return true;
+    }
+    return false;
+  }
+
+  /// Thread-safe snapshot of KnownHosts, refreshed after every processed
+  /// message. Tests must use this instead of known_hosts(), which is
+  /// engine-thread state.
+  std::vector<NodeId> hosts_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hosts_;
+  }
+
+  bool knows(const NodeId& id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& host : hosts_) {
+      if (host == id) return true;
+    }
+    return false;
+  }
+
+  Disposition process(const MsgPtr& m) override {
+    if (m->type() != MsgType::kData) {
+      std::lock_guard<std::mutex> lock(mu_);
+      events_.push_back(Event{m->type(), m->origin(), m->app(), m->param(0)});
+    }
+    const Disposition disposition = RelayAlgorithm::process(m);
+    if (m->type() != MsgType::kData) {
+      std::lock_guard<std::mutex> lock(mu_);
+      hosts_ = known_hosts().all();
+    }
+    return disposition;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<NodeId> hosts_;
+};
+
+}  // namespace iov::test

@@ -1,0 +1,74 @@
+#include "engine/report.h"
+
+#include <gtest/gtest.h>
+
+namespace iov::engine {
+namespace {
+
+NodeReport sample_report() {
+  NodeReport r;
+  r.node = NodeId::loopback(9001);
+  r.uptime = seconds(12.5);
+  r.upstreams.push_back(
+      LinkReport{NodeId::loopback(9002), 12345.5, 999999, 3, 4, 10});
+  r.upstreams.push_back(
+      LinkReport{NodeId::loopback(9003), 0.0, 0, 0, 0, 10});
+  r.downstreams.push_back(
+      LinkReport{NodeId::loopback(9004), 54321.0, 42, 0, 9, 10});
+  r.source_apps = {1, 7};
+  r.joined_apps = {3};
+  r.algorithm_status = "relay apps=2 edges=3";
+  return r;
+}
+
+TEST(NodeReport, SerializeParseRoundTrip) {
+  const NodeReport r = sample_report();
+  const auto parsed = NodeReport::parse(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->node, r.node);
+  EXPECT_EQ(parsed->uptime, r.uptime);
+  ASSERT_EQ(parsed->upstreams.size(), 2u);
+  EXPECT_EQ(parsed->upstreams[0].peer, NodeId::loopback(9002));
+  EXPECT_NEAR(parsed->upstreams[0].rate_bps, 12345.5, 0.1);
+  EXPECT_EQ(parsed->upstreams[0].total_bytes, 999999u);
+  EXPECT_EQ(parsed->upstreams[0].lost_msgs, 3u);
+  EXPECT_EQ(parsed->upstreams[0].buffer_len, 4u);
+  EXPECT_EQ(parsed->upstreams[0].buffer_cap, 10u);
+  ASSERT_EQ(parsed->downstreams.size(), 1u);
+  EXPECT_EQ(parsed->downstreams[0].peer, NodeId::loopback(9004));
+  EXPECT_EQ(parsed->source_apps, (std::vector<u32>{1, 7}));
+  EXPECT_EQ(parsed->joined_apps, std::vector<u32>{3});
+  EXPECT_EQ(parsed->algorithm_status, "relay apps=2 edges=3");
+}
+
+TEST(NodeReport, EmptyListsRoundTrip) {
+  NodeReport r;
+  r.node = NodeId::loopback(1);
+  const auto parsed = NodeReport::parse(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->upstreams.empty());
+  EXPECT_TRUE(parsed->downstreams.empty());
+  EXPECT_TRUE(parsed->source_apps.empty());
+  EXPECT_EQ(parsed->algorithm_status, "");
+}
+
+TEST(NodeReport, ParseRejectsMissingNode) {
+  EXPECT_FALSE(NodeReport::parse("uptime=5\nup=\n").has_value());
+}
+
+TEST(NodeReport, ParseRejectsGarbage) {
+  EXPECT_FALSE(NodeReport::parse("node=not-an-address\n").has_value());
+  EXPECT_FALSE(NodeReport::parse("just some text").has_value());
+  EXPECT_FALSE(
+      NodeReport::parse("node=1.2.3.4:5\nup=badlink\n").has_value());
+}
+
+TEST(NodeReport, ParseToleratesBlankLines) {
+  const auto parsed =
+      NodeReport::parse("\nnode=1.2.3.4:5\n\nuptime=7\n\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->uptime, 7);
+}
+
+}  // namespace
+}  // namespace iov::engine

@@ -1,0 +1,64 @@
+// Local trace logging (§2.2's high-volume mode) and the collection
+// script's input format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "engine/engine.h"
+#include "engine_test_util.h"
+
+namespace iov::engine {
+namespace {
+
+using test::wait_until;
+
+class Tracer : public Algorithm {
+ public:
+  void on_start() override { engine().set_timer(millis(20), 1); }
+  void on_timer(i32 id) override {
+    engine().trace(strf("tick %d", count_));
+    if (++count_ < 3) engine().set_timer(millis(20), id);
+  }
+
+ private:
+  int count_ = 0;
+};
+
+TEST(LocalTrace, TracesLandInConfiguredFile) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "iov_trace_test.log";
+  std::filesystem::remove(path);
+
+  EngineConfig config;
+  config.local_trace_path = path.string();
+  Engine node(config, std::make_unique<Tracer>());
+  ASSERT_TRUE(node.start());
+  ASSERT_TRUE(wait_until([&] {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str().find("tick 2") != std::string::npos;
+  }));
+  node.stop();
+  node.join();
+
+  // Each record carries the fixed-width timestamp and the node id the
+  // collection script merges on.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_NE(line.find(node.self().to_string()), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, 3);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace iov::engine

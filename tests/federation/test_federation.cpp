@@ -1,0 +1,194 @@
+// Federation protocol end-to-end on the simulator: sAware propagation,
+// request completion, mapping validity, data-plane delivery along the
+// DAG, strategy behaviour, and the scenario driver's measurements.
+#include "federation/federation_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "federation/scenario.h"
+#include "sim/sim_net.h"
+
+namespace iov::federation {
+namespace {
+
+using sim::SimEngine;
+using sim::SimNet;
+using sim::SimNodeConfig;
+
+struct FedNode {
+  SimEngine* engine = nullptr;
+  FederationAlgorithm* alg = nullptr;
+};
+
+FedNode add_node(SimNet& net, FederationStrategy strategy,
+                 const ServiceGraph& universe, double capacity) {
+  auto algorithm =
+      std::make_unique<FederationAlgorithm>(strategy, universe, capacity);
+  FedNode n;
+  n.alg = algorithm.get();
+  SimNodeConfig config;
+  config.bandwidth.node_up = capacity;
+  n.engine = &net.add_node(std::move(algorithm), config);
+  return n;
+}
+
+TEST(Federation, AwarePropagatesAcrossServiceNodes) {
+  SimNet net;
+  const auto universe = ServiceGraph::chain({1, 2, 3});
+  std::vector<FedNode> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(add_node(net, FederationStrategy::kSFlow, universe, 100e3));
+  }
+  for (const auto& n : nodes) net.bootstrap(n.engine->self(), 8);
+  net.run_for(millis(50));
+  nodes[0].alg->host_service(1);
+  nodes[1].alg->host_service(2);
+  nodes[2].alg->host_service(3);
+  net.run_for(seconds(2.0));
+
+  // Service nodes learn their neighbour types' instances.
+  EXPECT_EQ(nodes[1].alg->instances_of(1),
+            std::vector<NodeId>{nodes[0].engine->self()});
+  EXPECT_EQ(nodes[1].alg->instances_of(3),
+            std::vector<NodeId>{nodes[2].engine->self()});
+}
+
+TEST(Federation, ChainRequirementFederatesAndDelivers) {
+  FederationScenarioConfig config;
+  config.strategy = FederationStrategy::kSFlow;
+  config.nodes = 8;
+  config.universe_types = 4;
+  config.requests = 1;
+  config.requirement_length = 4;
+  config.allow_branches = false;
+  config.tail = seconds(15.0);
+  const auto result = run_federation_scenario(config);
+  ASSERT_EQ(result.requests.size(), 1u);
+  const auto& r = result.requests[0];
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.mapping.size(), 4u);
+  EXPECT_GT(r.goodput, 10e3);       // data flowed end to end
+  EXPECT_GT(r.mean_delay_ms, 0.0);  // across >= 3 hops of 10-50 ms
+}
+
+TEST(Federation, MappingOnlyUsesActualHosts) {
+  FederationScenarioConfig config;
+  config.nodes = 12;
+  config.universe_types = 4;
+  config.requests = 5;
+  config.deploy_streams = false;
+  config.seed = 3;
+  const auto result = run_federation_scenario(config);
+  // Every assignment in every completed mapping refers to a node index
+  // whose hosted type matches (host i serves type i % 4 + 1).
+  for (const auto& r : result.requests) {
+    if (!r.ok) continue;
+    for (const auto& [type, id] : r.mapping) {
+      EXPECT_TRUE(id.valid());
+    }
+    // Source and sink of the requirement must be assigned.
+    EXPECT_GE(r.hops, 1u);
+  }
+  EXPECT_GT(result.completion_rate(), 0.9);
+}
+
+TEST(Federation, DiamondRequirementDelivers) {
+  FederationScenarioConfig config;
+  config.nodes = 12;
+  config.universe_types = 5;
+  config.requests = 3;
+  config.requirement_length = 4;
+  config.allow_branches = true;
+  config.seed = 7;
+  config.tail = seconds(15.0);
+  const auto result = run_federation_scenario(config);
+  EXPECT_GT(result.completion_rate(), 0.9);
+  for (const auto& r : result.requests) {
+    if (r.ok) EXPECT_GT(r.goodput, 0.0);
+  }
+}
+
+TEST(Federation, ControlOverheadAccounted) {
+  FederationScenarioConfig config;
+  config.nodes = 10;
+  config.universe_types = 4;
+  config.requests = 4;
+  config.deploy_streams = false;
+  const auto result = run_federation_scenario(config);
+  EXPECT_GT(result.aware_bytes, 0u);
+  EXPECT_GT(result.federate_bytes, 0u);
+  // Fig 15(a): sFederate overhead is small compared to sAware.
+  EXPECT_GT(result.aware_bytes, result.federate_bytes);
+  u64 per_node_sum = 0;
+  for (const auto& [id, bytes] : result.aware_bytes_per_node) {
+    per_node_sum += bytes;
+  }
+  EXPECT_GT(per_node_sum, 0u);
+  EXPECT_LE(per_node_sum, result.aware_bytes);
+}
+
+TEST(Federation, AwareTimelineDecaysAfterJoinWave) {
+  FederationScenarioConfig config;
+  config.nodes = 20;
+  config.universe_types = 5;
+  config.service_interval = seconds(20.0);  // 3 per virtual minute
+  config.requests = 0;
+  config.deploy_streams = false;
+  config.tail = seconds(300.0);
+  const auto result = run_federation_scenario(config);
+  ASSERT_GE(result.aware_timeline.size(), 8u);
+  // Overhead during the join wave dwarfs overhead after it (Fig 16).
+  double wave = 0.0;
+  double after = 0.0;
+  const std::size_t split = 7;  // join wave ends ~400 s in
+  for (std::size_t i = 0; i < result.aware_timeline.size(); ++i) {
+    (i <= split ? wave : after) += result.aware_timeline[i];
+  }
+  EXPECT_GT(wave, after);
+}
+
+TEST(Federation, SFlowSpreadsLoadComparedToFixed) {
+  // Under many concurrent requirements, fixed piles selections onto the
+  // highest-capacity instances while sFlow balances by residual capacity,
+  // yielding higher end-to-end bandwidth (Fig 19 ordering).
+  const auto run = [](FederationStrategy strategy) {
+    FederationScenarioConfig config;
+    config.strategy = strategy;
+    config.nodes = 24;
+    config.universe_types = 4;
+    config.requests = 12;
+    config.request_interval = seconds(1.0);
+    config.requirement_length = 3;
+    config.allow_branches = false;
+    config.seed = 11;
+    config.tail = seconds(30.0);
+    return run_federation_scenario(config);
+  };
+  const auto sflow = run(FederationStrategy::kSFlow);
+  const auto fixed = run(FederationStrategy::kFixed);
+  EXPECT_GT(sflow.completion_rate(), 0.9);
+  EXPECT_GT(fixed.completion_rate(), 0.9);
+  EXPECT_GT(sflow.mean_goodput_ok(), fixed.mean_goodput_ok());
+}
+
+TEST(Federation, ScenarioIsDeterministic) {
+  FederationScenarioConfig config;
+  config.nodes = 10;
+  config.universe_types = 4;
+  config.requests = 3;
+  config.seed = 21;
+  config.tail = seconds(10.0);
+  const auto a = run_federation_scenario(config);
+  const auto b = run_federation_scenario(config);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].ok, b.requests[i].ok);
+    EXPECT_EQ(a.requests[i].mapping, b.requests[i].mapping);
+    EXPECT_DOUBLE_EQ(a.requests[i].goodput, b.requests[i].goodput);
+  }
+  EXPECT_EQ(a.aware_bytes, b.aware_bytes);
+}
+
+}  // namespace
+}  // namespace iov::federation

@@ -1,0 +1,94 @@
+// Federation edge cases: malformed wire inputs never crash or wedge the
+// algorithm, empty scenarios behave, and results stay consistent when
+// instances vanish mid-federation.
+#include <gtest/gtest.h>
+
+#include "../algorithm/fake_engine.h"
+#include "common/strings.h"
+#include "federation/federation_algorithm.h"
+#include "federation/scenario.h"
+
+namespace iov::federation {
+namespace {
+
+using test::FakeEngine;
+
+ServiceGraph universe() { return ServiceGraph::chain({1, 2, 3}); }
+
+TEST(FederationEdge, MalformedMessagesAreIgnored) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 100e3);
+  engine.attach(alg);
+  alg.host_service(1);
+
+  const NodeId peer = NodeId::loopback(4001);
+  // Garbage in every protocol slot: none of these may crash or emit
+  // anything meaningful.
+  alg.process(Msg::control(kSAware, peer, kControlApp, 1, 1, "not;fields"));
+  alg.process(Msg::control(kSFederate, peer, kControlApp, 5, 0, "garbage"));
+  alg.process(Msg::control(kSFederate, peer, kControlApp, 5, 0,
+                           "req=5|origin=bad|graph=bad|map=bad"));
+  alg.process(Msg::control(kSPath, peer, kControlApp, 5, 0, "req=x"));
+  alg.process(Msg::control(kSFederateAck, peer, kControlApp, 5, 0, ""));
+  alg.process(Msg::control(kSPath, peer, kControlApp, 5, 0,
+                           "req=5|graph=src=1;sink=2;edges=2-1|map="));
+  EXPECT_EQ(alg.load(), 0u);
+  EXPECT_TRUE(alg.results().empty());
+  // No path install or ack was produced from any of the garbage.
+  EXPECT_EQ(engine.count_type(kSPath), 0u);
+  EXPECT_EQ(engine.count_type(kSFederateAck), 0u);
+}
+
+TEST(FederationEdge, EmptyScenarioProducesNothing) {
+  FederationScenarioConfig config;
+  config.nodes = 4;
+  config.universe_types = 2;
+  config.requests = 0;
+  config.tail = seconds(5.0);
+  const auto result = run_federation_scenario(config);
+  EXPECT_TRUE(result.requests.empty());
+  EXPECT_EQ(result.completion_rate(), 0.0);
+  EXPECT_EQ(result.mean_goodput_ok(), 0.0);
+  // Services still announced themselves.
+  EXPECT_GT(result.aware_bytes, 0u);
+  EXPECT_EQ(result.federate_bytes, 0u);
+}
+
+TEST(FederationEdge, SingleTypeRequirement) {
+  // A requirement that is just the source==sink type: the designated node
+  // satisfies it alone.
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 100e3);
+  engine.attach(alg);
+  alg.host_service(1);
+  const auto trivial = ServiceGraph::chain({1});
+  alg.federate(55, trivial);
+  // Pump the self-sends.
+  std::size_t next = 0;
+  while (next < engine.sent.size()) {
+    const auto entry = engine.sent[next++];
+    if (entry.dest == engine.self()) alg.process(entry.msg);
+  }
+  ASSERT_EQ(alg.results().size(), 1u);
+  EXPECT_TRUE(alg.results()[0].ok);
+  EXPECT_EQ(alg.results()[0].mapping.size(), 1u);
+  EXPECT_EQ(alg.results()[0].mapping.at(1), engine.self());
+}
+
+TEST(FederationEdge, BrokenLinkDoesNotCorruptRegistry) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 100e3);
+  engine.attach(alg);
+  const NodeId peer = NodeId::loopback(4001);
+  alg.process(Msg::control(kSAware, peer, kControlApp, 2, 1,
+                           "cap=100000;load=0;ttl=3"));
+  ASSERT_EQ(alg.instances_of(2).size(), 1u);
+  alg.process(Msg::control(MsgType::kBrokenLink, peer, kControlApp));
+  // The registry entry may legitimately persist (aware data is soft
+  // state), but instances_of must stay internally consistent.
+  const auto instances = alg.instances_of(2);
+  for (const auto& id : instances) EXPECT_TRUE(id.valid());
+}
+
+}  // namespace
+}  // namespace iov::federation

@@ -1,0 +1,269 @@
+// Protocol-level unit tests of FederationAlgorithm against FakeEngine:
+// aware dissemination/relay rules, version dedup, the three selection
+// strategies, the hop-by-hop sFederate walk, failure acks, path
+// installation, and data-plane forwarding along a DAG.
+#include <gtest/gtest.h>
+
+#include "../algorithm/fake_engine.h"
+#include "common/strings.h"
+#include "federation/federation_algorithm.h"
+
+namespace iov::federation {
+namespace {
+
+using test::FakeEngine;
+
+const NodeId kHostA = NodeId::loopback(4001);
+const NodeId kHostB = NodeId::loopback(4002);
+const NodeId kHostC = NodeId::loopback(4003);
+const NodeId kOrigin = NodeId::loopback(4009);
+
+ServiceGraph universe() { return ServiceGraph::chain({1, 2, 3}); }
+
+// Messages of one type sent to one destination.
+std::vector<MsgPtr> typed_to(const FakeEngine& engine, const NodeId& dest,
+                             MsgType type) {
+  std::vector<MsgPtr> out;
+  for (const auto& m : engine.sent_to(dest)) {
+    if (m->type() == type) out.push_back(m);
+  }
+  return out;
+}
+
+// Processes messages the algorithm sent to itself (the engine would loop
+// them back through the publicized port) until none remain.
+void pump_self(FakeEngine& engine, FederationAlgorithm& alg) {
+  std::size_t next = 0;
+  while (next < engine.sent.size()) {
+    const auto entry = engine.sent[next++];
+    if (entry.dest == engine.self()) alg.process(entry.msg);
+  }
+}
+
+MsgPtr aware(const NodeId& origin, ServiceType t, double cap, u32 load,
+             u32 version = 1, int ttl = 8) {
+  return Msg::control(
+      kSAware, origin, kControlApp, static_cast<i32>(t),
+      static_cast<i32>(version),
+      strf("cap=%.0f;load=%u;ttl=%d", cap, load, ttl));
+}
+
+TEST(FederationUnit, HostServiceDisseminatesToAllKnownHosts) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.known_hosts().add(kHostA, engine.self());
+  alg.known_hosts().add(kHostB, engine.self());
+  alg.host_service(2);
+  EXPECT_EQ(engine.count_type(kSAware), 2u);
+  for (const auto& s : engine.sent) {
+    EXPECT_EQ(s.msg->param(0), 2);  // the hosted type
+  }
+  // Hosting the same type twice does not re-announce.
+  engine.sent.clear();
+  alg.host_service(2);
+  EXPECT_TRUE(engine.sent.empty());
+}
+
+TEST(FederationUnit, AwareRecordsInstancesAndVersionDedups) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.process(aware(kHostA, 1, 120e3, 0, /*version=*/1));
+  EXPECT_EQ(alg.instances_of(1), std::vector<NodeId>{kHostA});
+  // Re-delivery of the same version is ignored; a newer version updates.
+  alg.process(aware(kHostA, 1, 120e3, 5, /*version=*/1));
+  alg.process(aware(kHostA, 1, 120e3, 5, /*version=*/2));
+  EXPECT_EQ(alg.instances_of(1), std::vector<NodeId>{kHostA});
+}
+
+TEST(FederationUnit, NonServiceNodeRelaysAwareOnRandomWalk) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.known_hosts().add(kHostB, engine.self());
+  alg.process(aware(kHostA, 1, 120e3, 0));
+  // The walk never bounces the message back to its origin.
+  EXPECT_TRUE(engine.sent_to(kHostA).empty());
+  const auto relayed = typed_to(engine, kHostB, kSAware);
+  ASSERT_EQ(relayed.size(), 1u);
+  EXPECT_EQ(relayed[0]->origin(), kHostA);  // origin preserved
+}
+
+TEST(FederationUnit, AwareTtlExhaustionStopsRelay) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.known_hosts().add(kHostB, engine.self());
+  alg.process(aware(kHostA, 1, 120e3, 0, 1, /*ttl=*/0));
+  EXPECT_TRUE(engine.sent.empty());
+  // ...but the record was still taken.
+  EXPECT_EQ(alg.instances_of(1), std::vector<NodeId>{kHostA});
+}
+
+TEST(FederationUnit, ServiceNodeForwardsAwareToNeighbourTypes) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.host_service(2);
+  // Known instances of type 1 and 3 (neighbours of 2 in the universe).
+  alg.process(aware(kHostA, 1, 100e3, 0));
+  alg.process(aware(kHostB, 3, 100e3, 0));
+  engine.sent.clear();
+  // A new type-2 instance announces itself: forward to the type-1 and
+  // type-3 instances.
+  alg.process(aware(kHostC, 2, 100e3, 0));
+  EXPECT_EQ(engine.sent_to(kHostA).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kHostB).size(), 1u);
+}
+
+TEST(FederationUnit, PickFixedChoosesHighestPathBandwidth) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kFixed, universe(), 150e3);
+  engine.attach(alg);
+  alg.process(aware(kHostA, 2, 200e3, /*load=*/9));  // fat but loaded
+  alg.process(aware(kHostB, 2, 80e3, /*load=*/0));
+  alg.host_service(1);
+  alg.federate(100, universe());
+  pump_self(engine, alg);
+  // fixed ignores load: picks the 200 KB/s host despite its 9 sessions.
+  EXPECT_EQ(typed_to(engine, kHostA, kSFederate).size(), 1u);
+  EXPECT_TRUE(typed_to(engine, kHostB, kSFederate).empty());
+}
+
+TEST(FederationUnit, PickSFlowPrefersResidualCapacity) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.process(aware(kHostA, 2, 200e3, /*load=*/9));  // residual 20
+  alg.process(aware(kHostB, 2, 80e3, /*load=*/0));   // residual 80
+  alg.host_service(1);
+  alg.federate(101, universe());
+  pump_self(engine, alg);
+  EXPECT_EQ(typed_to(engine, kHostB, kSFederate).size(), 1u);
+  EXPECT_TRUE(typed_to(engine, kHostA, kSFederate).empty());
+}
+
+TEST(FederationUnit, PathBandwidthCapsFixedChoice) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kFixed, universe(), 150e3);
+  engine.attach(alg);
+  alg.process(aware(kHostA, 2, 200e3, 0));
+  alg.process(aware(kHostB, 2, 150e3, 0));
+  // The measured path to the fat host is terrible.
+  alg.set_path_bandwidth(kHostA, 10e3);
+  alg.set_path_bandwidth(kHostB, 140e3);
+  alg.host_service(1);
+  alg.federate(102, universe());
+  pump_self(engine, alg);
+  EXPECT_EQ(typed_to(engine, kHostB, kSFederate).size(), 1u);
+}
+
+TEST(FederationUnit, MissingInstanceFailsTheRequest) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.host_service(1);
+  // No type-2 instance known anywhere.
+  const std::string text = strf("req=%u|origin=", 103u) +
+                           kOrigin.to_string() + "|graph=" +
+                           universe().serialize() + "|map=";
+  alg.process(Msg::control(kSFederate, kOrigin, kControlApp, 103, 0, text));
+  pump_self(engine, alg);  // the self-assignment hop precedes the failure
+  const auto acks = typed_to(engine, kOrigin, kSFederateAck);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0]->type(), kSFederateAck);
+  EXPECT_EQ(acks[0]->param(1), 0);  // ok = false
+}
+
+TEST(FederationUnit, SinkAssignmentFinalizesWithPathsAndAck) {
+  FakeEngine engine;
+  // This node hosts the sink type 3; everything else already mapped.
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.host_service(3);
+  const std::string text = strf("req=%u|origin=", 104u) +
+                           kOrigin.to_string() + "|graph=" +
+                           universe().serialize() + "|map=1:" +
+                           kHostA.to_string() + ",2:" + kHostB.to_string();
+  alg.process(Msg::control(kSFederate, kHostB, kControlApp, 104, 0, text));
+
+  // kSPath to every selected instance (A, B, self) + ack to the origin.
+  EXPECT_EQ(engine.count_type(kSPath), 3u);
+  const auto acks = engine.sent_to(kOrigin);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0]->param(1), 1);  // ok
+  EXPECT_NE(acks[0]->param_text().find("3:" + engine.self().to_string()),
+            std::string_view::npos);
+}
+
+TEST(FederationUnit, PathInstallBumpsLoadAndReAnnounces) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.known_hosts().add(kHostA, engine.self());
+  alg.host_service(2);
+  engine.sent.clear();
+  const std::string text = strf("req=%u|graph=", 105u) +
+                           universe().serialize() + "|map=1:" +
+                           kHostA.to_string() + ",2:" +
+                           engine.self().to_string() + ",3:" +
+                           kHostB.to_string();
+  alg.process(Msg::control(kSPath, kHostB, kControlApp, 105, 0, text));
+  EXPECT_EQ(alg.load(), 1u);
+  EXPECT_GE(engine.count_type(kSAware), 1u);  // load refresh
+  ASSERT_TRUE(alg.path_of(105).has_value());
+  // Duplicate installs are idempotent.
+  alg.process(Msg::control(kSPath, kHostB, kControlApp, 105, 0, text));
+  EXPECT_EQ(alg.load(), 1u);
+}
+
+TEST(FederationUnit, DataForwardsAlongDagSuccessors) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.host_service(2);
+  const std::string text = strf("req=%u|graph=", 106u) +
+                           universe().serialize() + "|map=1:" +
+                           kHostA.to_string() + ",2:" +
+                           engine.self().to_string() + ",3:" +
+                           kHostB.to_string();
+  alg.process(Msg::control(kSPath, kHostB, kControlApp, 106, 0, text));
+  engine.sent.clear();
+
+  const auto m = Msg::data(kHostA, 106, 0, Buffer::pattern(64, 0));
+  alg.process(m);
+  // Type 2's successor is type 3, hosted at B; not the sink here, so no
+  // local delivery.
+  ASSERT_EQ(engine.sent_to(kHostB).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kHostB)[0].get(), m.get());  // zero copy
+  EXPECT_TRUE(engine.delivered_local.empty());
+}
+
+TEST(FederationUnit, SinkDeliversLocally) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.host_service(3);
+  const std::string text = strf("req=%u|graph=", 107u) +
+                           universe().serialize() + "|map=1:" +
+                           kHostA.to_string() + ",2:" + kHostB.to_string() +
+                           ",3:" + engine.self().to_string();
+  alg.process(Msg::control(kSPath, kHostB, kControlApp, 107, 0, text));
+  engine.sent.clear();
+  alg.process(Msg::data(kHostA, 107, 0, Buffer::pattern(64, 0)));
+  EXPECT_EQ(engine.delivered_local.size(), 1u);
+  EXPECT_EQ(engine.count_type(MsgType::kData), 0u);  // forwards nowhere
+}
+
+TEST(FederationUnit, DataForUnknownRequestDropped) {
+  FakeEngine engine;
+  FederationAlgorithm alg(FederationStrategy::kSFlow, universe(), 150e3);
+  engine.attach(alg);
+  alg.process(Msg::data(kHostA, 999, 0, Buffer::pattern(8, 0)));
+  EXPECT_TRUE(engine.sent.empty());
+  EXPECT_TRUE(engine.delivered_local.empty());
+}
+
+}  // namespace
+}  // namespace iov::federation

@@ -1,0 +1,79 @@
+#include "federation/service_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace iov::federation {
+namespace {
+
+TEST(ServiceGraph, ChainBasics) {
+  const auto g = ServiceGraph::chain({1, 2, 3, 4});
+  EXPECT_EQ(g.source(), 1u);
+  EXPECT_EQ(g.sink(), 4u);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.types(), (std::vector<ServiceType>{1, 2, 3, 4}));
+  EXPECT_EQ(g.successors(2), std::vector<ServiceType>{3});
+  EXPECT_EQ(g.predecessors(2), std::vector<ServiceType>{1});
+  EXPECT_TRUE(g.successors(4).empty());
+  EXPECT_TRUE(g.contains(3));
+  EXPECT_FALSE(g.contains(9));
+  EXPECT_EQ(g.next_in_order(1), 2u);
+  EXPECT_EQ(g.next_in_order(4), std::nullopt);
+}
+
+TEST(ServiceGraph, DiamondTopologicalOrder) {
+  const auto g = ServiceGraph::make(1, 4, {{1, 2}, {1, 3}, {2, 4}, {3, 4}});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->types().front(), 1u);
+  EXPECT_EQ(g->types().back(), 4u);
+  EXPECT_EQ(g->successors(1).size(), 2u);
+  EXPECT_EQ(g->predecessors(4).size(), 2u);
+}
+
+TEST(ServiceGraph, RejectsCycle) {
+  EXPECT_FALSE(
+      ServiceGraph::make(1, 3, {{1, 2}, {2, 3}, {3, 1}}).has_value());
+}
+
+TEST(ServiceGraph, RejectsSinkNotLast) {
+  // 3 is a second leaf: the topological order cannot end at the sink 4.
+  EXPECT_FALSE(
+      ServiceGraph::make(1, 4, {{1, 2}, {2, 4}, {2, 3}}).has_value());
+}
+
+TEST(ServiceGraph, RejectsSecondRoot) {
+  EXPECT_FALSE(
+      ServiceGraph::make(1, 4, {{1, 2}, {3, 2}, {2, 4}}).has_value());
+}
+
+TEST(ServiceGraph, SerializeParseRoundTrip) {
+  const auto g = ServiceGraph::make(1, 5, {{1, 2}, {1, 3}, {2, 4}, {3, 4},
+                                           {4, 5}});
+  ASSERT_TRUE(g.has_value());
+  const auto parsed = ServiceGraph::parse(g->serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, *g);
+}
+
+TEST(ServiceGraph, ParseRejectsJunk) {
+  EXPECT_FALSE(ServiceGraph::parse("").has_value());
+  EXPECT_FALSE(ServiceGraph::parse("nonsense").has_value());
+  EXPECT_FALSE(ServiceGraph::parse("src=1;sink=2;edges=2-1").has_value());
+  EXPECT_FALSE(ServiceGraph::parse("src=1;sink=2;edges=1-x").has_value());
+}
+
+TEST(ServiceGraph, RandomGraphsAreValid) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto g = ServiceGraph::random(rng, 10, 2 + rng.below(7));
+    EXPECT_GE(g.size(), 2u);
+    EXPECT_EQ(g.types().front(), g.source());
+    EXPECT_EQ(g.types().back(), g.sink());
+    // Round-trips through the wire form.
+    const auto parsed = ServiceGraph::parse(g.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, g);
+  }
+}
+
+}  // namespace
+}  // namespace iov::federation

@@ -1,0 +1,109 @@
+// Token-bucket conformance: sustained rate accuracy, burst clamping, the
+// debt model, unlimited mode, and runtime rate changes — the properties
+// the paper's bandwidth emulation accuracy (Fig. 6) rests on.
+#include "net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace iov {
+namespace {
+
+TEST(TokenBucket, UnlimitedNeverWaits) {
+  TokenBucket bucket(0.0);
+  EXPECT_FALSE(bucket.limited());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(bucket.acquire(1 << 20, seconds(0.001) * i), 0);
+  }
+}
+
+TEST(TokenBucket, SustainedRateIsExact) {
+  // 100 KB/s, 5 KB messages: steady state must pace one message per 50 ms.
+  TokenBucket bucket(100e3, /*burst=*/5000);
+  TimePoint now = 0;
+  // Drain the initial burst allowance.
+  Duration wait = bucket.acquire(5000, now);
+  EXPECT_EQ(wait, 0);
+  Duration total_wait = 0;
+  for (int i = 0; i < 100; ++i) {
+    wait = bucket.acquire(5000, now);
+    total_wait += wait;
+    now += wait;  // simulate the caller sleeping exactly as told
+  }
+  // 100 messages * 5000 B at 100 KB/s = 5.0 seconds.
+  EXPECT_NEAR(to_seconds(total_wait), 5.0, 0.01);
+}
+
+TEST(TokenBucket, BurstAllowsInitialBatch) {
+  TokenBucket bucket(1000.0, /*burst=*/10000);
+  // Let tokens accrue to the full burst.
+  EXPECT_EQ(bucket.acquire(0, seconds(100.0)), 0);
+  TimePoint now = seconds(100.0);
+  // 10 KB of burst passes immediately...
+  EXPECT_EQ(bucket.acquire(10000, now), 0);
+  // ...the next byte must wait.
+  EXPECT_GT(bucket.acquire(1000, now), 0);
+}
+
+TEST(TokenBucket, TokensCappedAtBurst) {
+  TokenBucket bucket(1e6, /*burst=*/1000);
+  // A long idle period must not bank more than `burst` tokens.
+  EXPECT_EQ(bucket.acquire(1000, seconds(1000.0)), 0);
+  EXPECT_GT(bucket.acquire(1000, seconds(1000.0)), 0);
+}
+
+TEST(TokenBucket, DebtDelaysNextMessage) {
+  TokenBucket bucket(1000.0, 1000);
+  TimePoint now = seconds(10.0);
+  EXPECT_EQ(bucket.acquire(1000, now), 0);
+  // 5x oversized message goes into debt: wait ~5 s.
+  const Duration wait = bucket.acquire(5000, now);
+  EXPECT_NEAR(to_seconds(wait), 5.0, 0.01);
+}
+
+TEST(TokenBucket, WouldWaitDoesNotConsume) {
+  TokenBucket bucket(1000.0, 1000);
+  const TimePoint now = seconds(10.0);
+  const Duration peek1 = bucket.would_wait(500, now);
+  const Duration peek2 = bucket.would_wait(500, now);
+  EXPECT_EQ(peek1, peek2);
+  EXPECT_EQ(bucket.acquire(500, now), peek1);
+}
+
+TEST(TokenBucket, SetRateAtRuntime) {
+  TokenBucket bucket(0.0);
+  EXPECT_EQ(bucket.acquire(1 << 20, 0), 0);
+  bucket.set_rate(1000.0, 1000);
+  EXPECT_TRUE(bucket.limited());
+  EXPECT_DOUBLE_EQ(bucket.rate(), 1000.0);
+  TimePoint now = seconds(1.0);
+  (void)bucket.acquire(1000, now);
+  EXPECT_GT(bucket.acquire(1000, now), 0);
+  bucket.set_rate(0.0);
+  EXPECT_EQ(bucket.acquire(1 << 20, now), 0);
+}
+
+TEST(TokenBucket, RateReductionTakesEffect) {
+  TokenBucket bucket(100e3, 5000);
+  TimePoint now = 0;
+  (void)bucket.acquire(5000, now);
+  bucket.set_rate(10e3, 5000);  // 10x slower
+  Duration total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Duration w = bucket.acquire(5000, now);
+    total += w;
+    now += w;
+  }
+  // 10 * 5000 B at 10 KB/s = 5 s.
+  EXPECT_NEAR(to_seconds(total), 5.0, 0.2);
+}
+
+TEST(TokenBucket, DefaultBurstIsSane) {
+  TokenBucket bucket(800.0);  // tiny rate
+  // Default burst of max(8192, rate/8) lets at least one typical message
+  // through without an infinite wait.
+  const Duration w = bucket.acquire(8192, seconds(100.0));
+  EXPECT_EQ(w, 0);
+}
+
+}  // namespace
+}  // namespace iov

@@ -1,0 +1,106 @@
+// Observer-plane resilience: nodes reconnect to a restarted observer,
+// reports fall back from a dead proxy to the direct connection, and the
+// engine keeps running through observer outages.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "observer/observer.h"
+#include "observer/proxy.h"
+#include "../engine/engine_test_util.h"
+
+namespace iov::observer {
+namespace {
+
+using engine::Engine;
+using engine::EngineConfig;
+using test::RecordingRelay;
+using test::wait_until;
+
+TEST(ObserverResilience, NodeReconnectsToRestartedObserver) {
+  // Pin the observer to a fixed port so a restart lands where nodes dial.
+  u16 port = 0;
+  {
+    // Grab an ephemeral port number to reuse.
+    auto probe = TcpListener::listen(0);
+    ASSERT_TRUE(probe.has_value());
+    port = probe->port();
+  }
+  ObserverConfig obs_config;
+  obs_config.port = port;
+  auto obs = std::make_unique<Observer>(obs_config);
+  ASSERT_TRUE(obs->start());
+
+  EngineConfig config;
+  config.observer = NodeId::loopback(port);
+  config.report_interval = millis(100);
+  Engine node(config, std::make_unique<RecordingRelay>());
+  ASSERT_TRUE(node.start());
+  ASSERT_TRUE(wait_until([&] { return obs->alive_count() == 1; }));
+
+  // Observer goes away entirely...
+  obs->stop();
+  obs->join();
+  obs.reset();
+  sleep_for(millis(300));
+  EXPECT_TRUE(node.running());  // the node shrugs it off
+
+  // ...and comes back on the same port; the node re-boots against it.
+  auto obs2 = std::make_unique<Observer>(obs_config);
+  ASSERT_TRUE(obs2->start());
+  ASSERT_TRUE(wait_until([&] { return obs2->alive_count() == 1; },
+                         seconds(10.0)));
+  ASSERT_TRUE(wait_until([&] {
+    const auto info = obs2->node(node.self());
+    return info && info->last_report.has_value();
+  }));
+
+  node.stop();
+  node.join();
+}
+
+TEST(ObserverResilience, ReportsFallBackWhenProxyDies) {
+  Observer obs{ObserverConfig{}};
+  ASSERT_TRUE(obs.start());
+  ProxyConfig proxy_config;
+  proxy_config.observer = obs.address();
+  auto proxy = std::make_unique<Proxy>(proxy_config);
+  ASSERT_TRUE(proxy->start());
+
+  EngineConfig config;
+  config.observer = obs.address();
+  config.report_proxy = proxy->address();
+  config.report_interval = millis(100);
+  Engine node(config, std::make_unique<RecordingRelay>());
+  ASSERT_TRUE(node.start());
+  ASSERT_TRUE(wait_until([&] {
+    const auto info = obs.node(node.self());
+    return info && info->last_report.has_value();
+  }));
+  EXPECT_GT(proxy->relayed(), 0u);
+
+  // Kill the proxy; reports must keep arriving via the direct connection.
+  proxy->stop();
+  proxy->join();
+  proxy.reset();
+  sleep_for(millis(300));
+  const auto before = obs.node(node.self())->last_seen;
+  ASSERT_TRUE(wait_until([&] {
+    const auto info = obs.node(node.self());
+    return info && info->last_seen > before;
+  }));
+
+  node.stop();
+  node.join();
+}
+
+TEST(ObserverResilience, StandaloneNodeNeedsNoObserver) {
+  Engine node(EngineConfig{}, std::make_unique<RecordingRelay>());
+  ASSERT_TRUE(node.start());
+  sleep_for(millis(300));
+  EXPECT_TRUE(node.running());
+  node.stop();
+  node.join();
+}
+
+}  // namespace
+}  // namespace iov::observer

@@ -1,0 +1,112 @@
+#include "pubsub/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace iov::pubsub {
+namespace {
+
+TEST(Event, SerializeParseRoundTrip) {
+  Event e;
+  e.set("price", 42).set("volume", -1000).set("symbol_7", 0);
+  const auto parsed = Event::parse(e.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+}
+
+TEST(Event, EmptyEventIsValid) {
+  const auto parsed = Event::parse("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 0u);
+}
+
+TEST(Event, ParseRejectsJunk) {
+  EXPECT_FALSE(Event::parse("noequals").has_value());
+  EXPECT_FALSE(Event::parse("a=notanumber").has_value());
+  EXPECT_FALSE(Event::parse("bad name=1").has_value());
+  EXPECT_FALSE(Event::parse("a=1;;b=2").has_value());
+  EXPECT_FALSE(Event::parse("a=").has_value());
+  EXPECT_FALSE(Event::parse("=5").has_value());
+}
+
+TEST(Constraint, AllOperators) {
+  EXPECT_TRUE((Constraint{"x", Op::kEq, 5}.matches(5)));
+  EXPECT_FALSE((Constraint{"x", Op::kEq, 5}.matches(6)));
+  EXPECT_TRUE((Constraint{"x", Op::kNe, 5}.matches(6)));
+  EXPECT_TRUE((Constraint{"x", Op::kLt, 5}.matches(4)));
+  EXPECT_FALSE((Constraint{"x", Op::kLt, 5}.matches(5)));
+  EXPECT_TRUE((Constraint{"x", Op::kLe, 5}.matches(5)));
+  EXPECT_TRUE((Constraint{"x", Op::kGt, 5}.matches(6)));
+  EXPECT_FALSE((Constraint{"x", Op::kGt, 5}.matches(5)));
+  EXPECT_TRUE((Constraint{"x", Op::kGe, 5}.matches(5)));
+}
+
+TEST(Predicate, ConjunctionSemantics) {
+  Predicate p;
+  p.where("price", Op::kGt, 40).where("volume", Op::kGe, 500);
+  EXPECT_TRUE(p.matches(Event().set("price", 41).set("volume", 500)));
+  EXPECT_FALSE(p.matches(Event().set("price", 40).set("volume", 500)));
+  EXPECT_FALSE(p.matches(Event().set("price", 41).set("volume", 499)));
+  // Missing constrained attribute: no match.
+  EXPECT_FALSE(p.matches(Event().set("price", 41)));
+  // Extra attributes are irrelevant.
+  EXPECT_TRUE(p.matches(
+      Event().set("price", 41).set("volume", 600).set("other", 1)));
+}
+
+TEST(Predicate, EmptyMatchesEverything) {
+  Predicate p;
+  EXPECT_TRUE(p.matches(Event()));
+  EXPECT_TRUE(p.matches(Event().set("anything", 1)));
+}
+
+TEST(Predicate, SerializeParseRoundTrip) {
+  Predicate p;
+  p.where("a", Op::kGe, -3)
+      .where("b", Op::kNe, 100)
+      .where("c", Op::kLt, 7)
+      .where("d", Op::kEq, 0);
+  const auto parsed = Predicate::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(Predicate, ParseRejectsJunk) {
+  EXPECT_FALSE(Predicate::parse("noop").has_value());
+  EXPECT_FALSE(Predicate::parse("a>>5").has_value());
+  EXPECT_FALSE(Predicate::parse("a>x").has_value());
+  EXPECT_FALSE(Predicate::parse("a>1&").has_value());
+}
+
+TEST(Predicate, RandomRoundTripSweep) {
+  Rng rng(77);
+  const Op ops[] = {Op::kEq, Op::kNe, Op::kLt, Op::kLe, Op::kGt, Op::kGe};
+  for (int trial = 0; trial < 500; ++trial) {
+    Predicate p;
+    const std::size_t n = 1 + rng.below(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.where(strf("attr%llu", (unsigned long long)rng.below(10)),
+              ops[rng.below(6)],
+              rng.uniform_int(-1000000, 1000000));
+    }
+    const auto parsed = Predicate::parse(p.serialize());
+    ASSERT_TRUE(parsed.has_value()) << p.serialize();
+    EXPECT_EQ(*parsed, p);
+
+    // Parsed and original agree on random events.
+    for (int e = 0; e < 20; ++e) {
+      Event event;
+      const std::size_t attrs = rng.below(6);
+      for (std::size_t i = 0; i < attrs; ++i) {
+        event.set(strf("attr%llu", (unsigned long long)rng.below(10)),
+                  rng.uniform_int(-1000000, 1000000));
+      }
+      EXPECT_EQ(p.matches(event), parsed->matches(event));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iov::pubsub

@@ -1,0 +1,178 @@
+// Content-based routing over the simulated substrate: subscriptions
+// flood the broker tree, events reach exactly the matching subscribers,
+// forwarding is pruned where no predicate matches, and unsubscribe stops
+// delivery.
+#include "pubsub/pubsub_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "sim/sim_net.h"
+#include "../algorithm/fake_engine.h"
+
+namespace iov::pubsub {
+namespace {
+
+using test::FakeEngine;
+
+constexpr u32 kApp = 1;
+
+struct Broker {
+  sim::SimEngine* engine = nullptr;
+  PubSubAlgorithm* alg = nullptr;
+  std::shared_ptr<apps::SinkApp> sink;
+};
+
+Broker add_broker(sim::SimNet& net) {
+  auto algorithm = std::make_unique<PubSubAlgorithm>(kApp);
+  Broker b;
+  b.alg = algorithm.get();
+  b.engine = &net.add_node(std::move(algorithm), sim::SimNodeConfig{});
+  b.sink = std::make_shared<apps::SinkApp>();
+  b.engine->register_app(kApp, b.sink);
+  return b;
+}
+
+void connect(Broker& a, Broker& b) {
+  a.alg->add_neighbor(b.engine->self());
+  b.alg->add_neighbor(a.engine->self());
+}
+
+TEST(PubSub, LocalSubscriptionMatchesOwnPublications) {
+  FakeEngine engine;
+  PubSubAlgorithm alg(kApp);
+  engine.attach(alg);
+  alg.subscribe(1, Predicate().where("x", Op::kGt, 10));
+  alg.publish(Event().set("x", 11));
+  alg.publish(Event().set("x", 10));
+  EXPECT_EQ(engine.delivered_local.size(), 1u);
+  EXPECT_EQ(alg.delivered(), 1u);
+}
+
+TEST(PubSub, EventsRouteAcrossBrokerChainToMatchingSubscriberOnly) {
+  // p1 -- b -- s1 / s2: publisher at one end, two subscribers behind the
+  // middle broker with disjoint predicates.
+  sim::SimNet net;
+  Broker publisher = add_broker(net);
+  Broker middle = add_broker(net);
+  Broker sub_hot = add_broker(net);
+  Broker sub_cold = add_broker(net);
+  connect(publisher, middle);
+  connect(middle, sub_hot);
+  connect(middle, sub_cold);
+
+  sub_hot.alg->subscribe(1, Predicate().where("temp", Op::kGt, 50));
+  sub_cold.alg->subscribe(1, Predicate().where("temp", Op::kLe, 0));
+  net.run_for(seconds(1.0));
+  // Subscriptions reached the publisher's routing table via the middle.
+  EXPECT_GE(publisher.alg->routing_entries(), 2u);
+
+  publisher.alg->publish(Event().set("temp", 80));
+  publisher.alg->publish(Event().set("temp", -5));
+  publisher.alg->publish(Event().set("temp", 20));  // matches nobody
+  net.run_for(seconds(1.0));
+
+  EXPECT_EQ(sub_hot.sink->stats(0).msgs, 1u);
+  EXPECT_EQ(sub_cold.sink->stats(0).msgs, 1u);
+  EXPECT_EQ(middle.sink->stats(0).msgs, 0u);  // broker has no local subs
+}
+
+TEST(PubSub, ForwardingIsPruned) {
+  // Publisher -> middle -> leaf with no subscription anywhere on the
+  // leaf side: the event must not travel past the middle broker.
+  sim::SimNet net;
+  Broker publisher = add_broker(net);
+  Broker middle = add_broker(net);
+  Broker leaf = add_broker(net);
+  connect(publisher, middle);
+  connect(middle, leaf);
+  net.run_for(millis(100));
+
+  publisher.alg->publish(Event().set("x", 1));
+  net.run_for(seconds(1.0));
+  EXPECT_EQ(net.accounting().bytes_of(MsgType::kData), 0u)
+      << "no subscription anywhere: nothing should leave the publisher";
+}
+
+TEST(PubSub, MultipleMatchingSubscriptionsDeliverOncePerNode) {
+  sim::SimNet net;
+  Broker publisher = add_broker(net);
+  Broker subscriber = add_broker(net);
+  connect(publisher, subscriber);
+  subscriber.alg->subscribe(1, Predicate().where("x", Op::kGt, 0));
+  subscriber.alg->subscribe(2, Predicate().where("x", Op::kGt, 5));
+  net.run_for(millis(200));
+
+  publisher.alg->publish(Event().set("x", 10));  // matches both
+  net.run_for(seconds(1.0));
+  EXPECT_EQ(subscriber.sink->stats(0).msgs, 1u);
+  EXPECT_EQ(subscriber.sink->stats(0).duplicates, 0u);
+}
+
+TEST(PubSub, UnsubscribeStopsDeliveryAndPrunesRoutes) {
+  sim::SimNet net;
+  Broker publisher = add_broker(net);
+  Broker middle = add_broker(net);
+  Broker subscriber = add_broker(net);
+  connect(publisher, middle);
+  connect(middle, subscriber);
+  subscriber.alg->subscribe(7, Predicate().where("x", Op::kGe, 0));
+  net.run_for(millis(500));
+  publisher.alg->publish(Event().set("x", 1));
+  net.run_for(millis(500));
+  ASSERT_EQ(subscriber.sink->stats(0).msgs, 1u);
+
+  subscriber.alg->unsubscribe(7);
+  net.run_for(millis(500));
+  EXPECT_EQ(publisher.alg->routing_entries(), 0u);
+  EXPECT_EQ(middle.alg->routing_entries(), 0u);
+  publisher.alg->publish(Event().set("x", 2));
+  net.run_for(millis(500));
+  EXPECT_EQ(subscriber.sink->stats(0).msgs, 1u);  // unchanged
+}
+
+TEST(PubSub, DeepChainDelivery) {
+  sim::SimNet net;
+  std::vector<Broker> brokers;
+  constexpr int kLen = 8;
+  for (int i = 0; i < kLen; ++i) brokers.push_back(add_broker(net));
+  for (int i = 0; i + 1 < kLen; ++i) connect(brokers[i], brokers[i + 1]);
+  brokers.back().alg->subscribe(1, Predicate().where("k", Op::kEq, 9));
+  net.run_for(seconds(2.0));
+
+  for (int k = 0; k < 20; ++k) {
+    brokers.front().alg->publish(Event().set("k", k % 10));
+  }
+  net.run_for(seconds(2.0));
+  // Exactly the k==9 events (2 of 20) arrive at the far end.
+  EXPECT_EQ(brokers.back().sink->stats(0).msgs, 2u);
+  // Intermediate brokers forwarded but did not deliver.
+  for (int i = 1; i + 1 < kLen; ++i) {
+    EXPECT_EQ(brokers[static_cast<std::size_t>(i)].sink->stats(0).msgs, 0u);
+  }
+}
+
+TEST(PubSub, SubscriberSideBrokerFailureIsContained) {
+  sim::SimNet net;
+  Broker publisher = add_broker(net);
+  Broker middle = add_broker(net);
+  Broker sub_a = add_broker(net);
+  Broker sub_b = add_broker(net);
+  connect(publisher, middle);
+  connect(middle, sub_a);
+  connect(publisher, sub_b);  // B hangs off the publisher directly
+  sub_a.alg->subscribe(1, Predicate().where("x", Op::kGe, 0));
+  sub_b.alg->subscribe(1, Predicate().where("x", Op::kGe, 0));
+  net.run_for(seconds(1.0));
+
+  net.kill_node(middle.engine->self());
+  net.run_for(seconds(1.0));
+  publisher.alg->publish(Event().set("x", 3));
+  net.run_for(seconds(1.0));
+  // B keeps receiving; A is cut off (its route died with the middle).
+  EXPECT_EQ(sub_b.sink->stats(0).msgs, 1u);
+  EXPECT_EQ(sub_a.sink->stats(0).msgs, 0u);
+}
+
+}  // namespace
+}  // namespace iov::pubsub

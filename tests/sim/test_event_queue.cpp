@@ -1,0 +1,87 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace iov::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue q;
+  TimePoint seen = -1;
+  q.schedule_at(1234, [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen, 1234);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_for(10);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventQueue q;
+  q.run_until(500);
+  EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(10, recurse);
+  };
+  q.schedule_in(10, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, PastScheduleClampsToNow) {
+  EventQueue q;
+  q.run_until(100);
+  TimePoint seen = -1;
+  q.schedule_at(10, [&] { seen = q.now(); });  // in the past
+  q.run_all();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueue, NegativeDelayClamps) {
+  EventQueue q;
+  q.run_until(50);
+  TimePoint seen = -1;
+  q.schedule_in(-20, [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen, 50);
+}
+
+}  // namespace
+}  // namespace iov::sim

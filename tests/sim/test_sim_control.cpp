@@ -1,0 +1,154 @@
+// Observer-style control over the simulated substrate: kSetBandwidth at
+// runtime, join/leave plumbing, close_link semantics, and trace/accounting
+// edge cases.
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "engine/engine.h"  // BandwidthScope
+#include "sim/sim_net.h"
+#include "../engine/engine_test_util.h"
+
+namespace iov::sim {
+namespace {
+
+using apps::BackToBackSource;
+using apps::SinkApp;
+using test::RecordingRelay;
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kPayload = 5000;
+
+struct SimNode {
+  SimEngine* engine = nullptr;
+  RecordingRelay* relay = nullptr;
+};
+
+SimNode add_relay_node(SimNet& net) {
+  auto algorithm = std::make_unique<RecordingRelay>();
+  SimNode n;
+  n.relay = algorithm.get();
+  n.engine = &net.add_node(std::move(algorithm), SimNodeConfig{});
+  return n;
+}
+
+TEST(SimControl, SetBandwidthControlMessageThrottlesAtRuntime) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  SimNode b = add_relay_node(net);
+  auto sink = std::make_shared<SinkApp>();
+  a.engine->register_app(kApp, std::make_shared<BackToBackSource>(kPayload));
+  b.engine->register_app(kApp, sink);
+  a.engine->bandwidth().set_node_up(200e3);
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(5.0));
+  const u64 fast = sink->stats(0).bytes;
+  EXPECT_GT(static_cast<double>(fast) / 5.0, 150e3);
+
+  // The observer tightens A's uplink mid-run via the control plane.
+  net.post(a.engine->self(),
+           Msg::control(MsgType::kSetBandwidth, NodeId(), kControlApp,
+                        engine::kBwNodeUp, 20000));
+  net.run_for(seconds(5.0));   // drain queued backlog
+  const u64 mid = sink->stats(0).bytes;
+  net.run_for(seconds(10.0));
+  const double slow_rate =
+      static_cast<double>(sink->stats(0).bytes - mid) / 10.0;
+  EXPECT_LT(slow_rate, 30e3);
+  EXPECT_GT(slow_rate, 10e3);
+}
+
+SimNode add_big_relay_node(SimNet& net) {
+  auto algorithm = std::make_unique<RecordingRelay>();
+  SimNode n;
+  n.relay = algorithm.get();
+  SimNodeConfig big;  // deep buffers so the link cap stays contained
+  big.recv_buffer_msgs = 10000;
+  big.send_buffer_msgs = 10000;
+  n.engine = &net.add_node(std::move(algorithm), big);
+  return n;
+}
+
+TEST(SimControl, SetLinkBandwidthViaControlText) {
+  SimNet net;
+  SimNode a = add_big_relay_node(net);
+  SimNode b = add_big_relay_node(net);
+  SimNode c = add_big_relay_node(net);
+  auto sink_b = std::make_shared<SinkApp>();
+  auto sink_c = std::make_shared<SinkApp>();
+  a.engine->register_app(kApp, std::make_shared<BackToBackSource>(kPayload));
+  b.engine->register_app(kApp, sink_b);
+  c.engine->register_app(kApp, sink_c);
+  a.engine->bandwidth().set_node_up(200e3);
+  a.relay->add_child(kApp, b.engine->self());
+  a.relay->add_child(kApp, c.engine->self());
+  b.relay->set_consume(kApp, true);
+  c.relay->set_consume(kApp, true);
+  net.post(a.engine->self(),
+           Msg::control(MsgType::kSetBandwidth, NodeId(), kControlApp,
+                        engine::kBwLinkUp, 15000,
+                        b.engine->self().to_string()));
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(10.0));
+  const double rate_b = static_cast<double>(sink_b->stats(0).bytes) / 10.0;
+  const double rate_c = static_cast<double>(sink_c->stats(0).bytes) / 10.0;
+  EXPECT_LT(rate_b, 20e3);
+  EXPECT_GT(rate_c, 50e3);  // back-pressure shares A's uplink unevenly
+}
+
+TEST(SimControl, CloseLinkNotifiesPeerOnly) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  SimNode b = add_relay_node(net);
+  a.engine->register_app(kApp,
+                         std::make_shared<BackToBackSource>(kPayload, 20));
+  b.engine->register_app(kApp, std::make_shared<SinkApp>());
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(2.0));
+
+  // A's algorithm deliberately drops the link.
+  struct Closer : Algorithm {};
+  a.engine->close_link(b.engine->self());
+  net.run_for(seconds(1.0));
+  // The peer hears a broken link; the initiator does not.
+  EXPECT_TRUE(b.relay->saw(MsgType::kBrokenLink, a.engine->self()));
+  EXPECT_FALSE(a.relay->saw(MsgType::kBrokenLink, b.engine->self()));
+}
+
+TEST(SimControl, JoinAndLeaveRoundTrip) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  net.join_app(a.engine->self(), 7, "hint-arg");
+  net.run_for(millis(10));
+  EXPECT_EQ(a.relay->count(MsgType::kSJoin), 1u);
+  net.post(a.engine->self(),
+           Msg::control(MsgType::kSLeave, NodeId(), kControlApp, 7));
+  net.run_for(millis(10));
+  EXPECT_EQ(a.relay->count(MsgType::kSLeave), 1u);
+}
+
+TEST(SimControl, AccountingPerDestMatchesPerNode) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  SimNode b = add_relay_node(net);
+  a.engine->register_app(kApp,
+                         std::make_shared<BackToBackSource>(kPayload, 25));
+  b.engine->register_app(kApp, std::make_shared<SinkApp>());
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(3.0));
+  const auto& acct = net.accounting();
+  const auto sent = acct.per_node.at(a.engine->self()).at(MsgType::kData);
+  const auto recvd = acct.per_dest.at(b.engine->self()).at(MsgType::kData);
+  EXPECT_EQ(sent.msgs, 25u);
+  EXPECT_EQ(sent.bytes, recvd.bytes);
+  EXPECT_EQ(acct.bytes_of(MsgType::kData), sent.bytes);
+}
+
+}  // namespace
+}  // namespace iov::sim

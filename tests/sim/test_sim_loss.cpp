@@ -1,0 +1,149 @@
+// Emulated wire loss on the simulated substrate: drop rates are honored
+// statistically, losses land in the QoS meters, and lossless links are
+// untouched.
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "sim/sim_net.h"
+#include "trees/tree_algorithm.h"
+#include "../engine/engine_test_util.h"
+
+namespace iov::sim {
+namespace {
+
+using apps::BackToBackSource;
+using apps::SinkApp;
+using test::RecordingRelay;
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kPayload = 1000;
+
+struct SimNode {
+  SimEngine* engine = nullptr;
+  RecordingRelay* relay = nullptr;
+};
+
+SimNode add_relay_node(SimNet& net) {
+  auto algorithm = std::make_unique<RecordingRelay>();
+  SimNode n;
+  n.relay = algorithm.get();
+  n.engine = &net.add_node(std::move(algorithm), SimNodeConfig{});
+  return n;
+}
+
+TEST(SimLoss, DropRateIsHonoredStatistically) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  SimNode b = add_relay_node(net);
+  auto sink = std::make_shared<SinkApp>();
+  constexpr u64 kMsgs = 2000;
+  a.engine->register_app(kApp,
+                         std::make_shared<BackToBackSource>(kPayload, kMsgs));
+  b.engine->register_app(kApp, sink);
+  net.set_loss(a.engine->self(), b.engine->self(), 0.25);
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(30.0));
+
+  const double received = static_cast<double>(sink->stats(0).msgs);
+  EXPECT_NEAR(received / kMsgs, 0.75, 0.05);
+  // Dropped messages are accounted as losses at the receiving side.
+  const auto up = b.engine->upstream_stats(a.engine->self());
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->lost_msgs + static_cast<u64>(received), kMsgs);
+}
+
+TEST(SimLoss, ZeroLossDeliversEverything) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  SimNode b = add_relay_node(net);
+  auto sink = std::make_shared<SinkApp>();
+  a.engine->register_app(kApp,
+                         std::make_shared<BackToBackSource>(kPayload, 500));
+  b.engine->register_app(kApp, sink);
+  net.set_loss(a.engine->self(), b.engine->self(), 0.0);
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+  net.run_for(seconds(10.0));
+  EXPECT_EQ(sink->stats(0).distinct, 500u);
+}
+
+TEST(SimLoss, LossIsDirectional) {
+  SimNet net;
+  SimNode a = add_relay_node(net);
+  SimNode b = add_relay_node(net);
+  auto sink_a = std::make_shared<SinkApp>();
+  auto sink_b = std::make_shared<SinkApp>();
+  constexpr u32 kAppBack = 2;
+  a.engine->register_app(kApp,
+                         std::make_shared<BackToBackSource>(kPayload, 400));
+  a.engine->register_app(kAppBack, sink_a);
+  b.engine->register_app(kAppBack,
+                         std::make_shared<BackToBackSource>(kPayload, 400));
+  b.engine->register_app(kApp, sink_b);
+  net.set_loss(a.engine->self(), b.engine->self(), 1.0);  // a->b black hole
+  a.relay->add_child(kApp, b.engine->self());
+  b.relay->add_child(kAppBack, a.engine->self());
+  a.relay->set_consume(kAppBack, true);
+  b.relay->set_consume(kApp, true);
+  net.deploy(a.engine->self(), kApp);
+  net.deploy(b.engine->self(), kAppBack);
+  net.run_for(seconds(15.0));
+
+  EXPECT_EQ(sink_b->stats(0).msgs, 0u);        // everything a->b dropped
+  EXPECT_EQ(sink_a->stats(0).distinct, 400u);  // b->a untouched
+}
+
+TEST(SimLoss, LossyProtocolPathStillConvergesViaRetry) {
+  // Tree construction over 30%-lossy links: join queries and acks can
+  // vanish, but the periodic rejoin retry eventually attaches everyone.
+  SimNet net;
+  struct Member {
+    SimEngine* engine;
+    trees::TreeAlgorithm* alg;
+  };
+  std::vector<Member> members;
+  const auto add = [&](double bw) {
+    auto algorithm = std::make_unique<trees::TreeAlgorithm>(
+        trees::TreeStrategy::kNsAware, bw);
+    Member m{nullptr, algorithm.get()};
+    SimNodeConfig config;
+    config.bandwidth.node_up = bw;
+    m.engine = &net.add_node(std::move(algorithm), config);
+    return m;
+  };
+  members.push_back(add(100e3));  // source
+  for (int i = 0; i < 3; ++i) members.push_back(add(100e3));
+  // Lossy world, configured before any link exists.
+  for (const auto& x : members) {
+    for (const auto& y : members) {
+      if (x.engine != y.engine) {
+        net.set_loss(x.engine->self(), y.engine->self(), 0.3);
+      }
+    }
+  }
+  for (const auto& m : members) net.bootstrap(m.engine->self(), 8);
+  const std::string announce = members[0].engine->self().to_string();
+  for (const auto& m : members) {
+    net.post(m.engine->self(),
+             Msg::control(MsgType::kSAnnounce, NodeId(), kControlApp,
+                          static_cast<i32>(kApp), 0, announce));
+  }
+  members[0].engine->register_app(
+      kApp, std::make_shared<apps::CbrSource>(kPayload, 100e3));
+  net.deploy(members[0].engine->self(), kApp);
+  net.run_for(millis(200));
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    net.join_app(members[i].engine->self(), kApp);
+  }
+  net.run_for(seconds(60.0));
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    EXPECT_TRUE(members[i].alg->in_tree(kApp)) << "receiver " << i;
+  }
+}
+
+}  // namespace
+}  // namespace iov::sim

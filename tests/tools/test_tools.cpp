@@ -1,0 +1,155 @@
+// Multi-process integration: spawns the real iov_observerd and iov_node
+// binaries, drives the observer's console through a pipe, and verifies
+// the deployment workflow end to end — the closest this suite gets to
+// the paper's PlanetLab operational story.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace iov {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Locates a tools binary relative to the test's working directory
+// (build/tests) with a couple of fallbacks.
+std::string find_tool(const std::string& name) {
+  for (const char* prefix : {"../tools/", "tools/", "./"}) {
+    const fs::path candidate = fs::path(prefix) / name;
+    std::error_code ec;
+    if (fs::exists(candidate, ec)) return candidate.string();
+  }
+  return {};
+}
+
+struct Process {
+  pid_t pid = -1;
+  int stdin_fd = -1;
+  int stdout_fd = -1;
+
+  void write_line(const std::string& line) const {
+    const std::string full = line + "\n";
+    [[maybe_unused]] const ssize_t n =
+        ::write(stdin_fd, full.data(), full.size());
+  }
+
+  ~Process() {
+    if (stdin_fd >= 0) ::close(stdin_fd);
+    if (stdout_fd >= 0) ::close(stdout_fd);
+    if (pid > 0) {
+      ::kill(pid, SIGTERM);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+};
+
+// Spawns `argv` with piped stdin/stdout (stdout non-blocking for polling
+// reads).
+std::unique_ptr<Process> spawn(const std::vector<std::string>& argv) {
+  int in_pipe[2];
+  int out_pipe[2];
+  if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0) return nullptr;
+  const pid_t pid = ::fork();
+  if (pid < 0) return nullptr;
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> args;
+    for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    _exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  ::fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+  auto process = std::make_unique<Process>();
+  process->pid = pid;
+  process->stdin_fd = in_pipe[1];
+  process->stdout_fd = out_pipe[0];
+  return process;
+}
+
+// Accumulates a process's stdout until `needle` appears or `timeout`.
+bool wait_for_output(const Process& process, std::string& accumulated,
+                     const std::string& needle, Duration timeout) {
+  const TimePoint deadline = RealClock::instance().now() + timeout;
+  char buf[4096];
+  while (RealClock::instance().now() < deadline) {
+    const ssize_t n = ::read(process.stdout_fd, buf, sizeof(buf));
+    if (n > 0) accumulated.append(buf, static_cast<std::size_t>(n));
+    if (accumulated.find(needle) != std::string::npos) return true;
+    sleep_for(millis(30));
+  }
+  return accumulated.find(needle) != std::string::npos;
+}
+
+TEST(Tools, ObserverAndNodesRunAsProcesses) {
+  const std::string observerd = find_tool("iov_observerd");
+  const std::string node_bin = find_tool("iov_node");
+  if (observerd.empty() || node_bin.empty()) {
+    GTEST_SKIP() << "tools binaries not found next to the test";
+  }
+
+  // Fixed ports in a range unlikely to collide inside the test container.
+  const std::string obs_port = "7911";
+  auto observer = spawn({observerd, "--port", obs_port});
+  ASSERT_NE(observer, nullptr);
+  std::string obs_out;
+  ASSERT_TRUE(wait_for_output(*observer, obs_out, "observer listening",
+                              seconds(5.0)));
+
+  auto source = spawn({node_bin, "--observer", "127.0.0.1:" + obs_port,
+                       "--port", "7912", "--source", "1:2000"});
+  auto sink = spawn({node_bin, "--observer", "127.0.0.1:" + obs_port,
+                     "--port", "7913", "--sink", "1"});
+  ASSERT_NE(source, nullptr);
+  ASSERT_NE(sink, nullptr);
+  std::string src_out;
+  std::string sink_out;
+  ASSERT_TRUE(wait_for_output(*source, src_out, "up", seconds(5.0)));
+  ASSERT_TRUE(wait_for_output(*sink, sink_out, "up", seconds(5.0)));
+
+  // Drive the deployment through the console.
+  observer->write_line("control 127.0.0.1:7912 1 1 127.0.0.1:7913");
+  observer->write_line("join 127.0.0.1:7913 1");
+  observer->write_line("deploy 127.0.0.1:7912 1");
+  sleep_for(seconds(1.0));
+  observer->write_line("list");
+  ASSERT_TRUE(wait_for_output(*observer, obs_out, "2 alive", seconds(5.0)));
+  // The source reports itself as sourcing app 1 and feeding one
+  // downstream.
+  EXPECT_NE(obs_out.find("src=1"), std::string::npos) << obs_out;
+
+  // Topology dump shows the edge.
+  observer->write_line("dot");
+  ASSERT_TRUE(wait_for_output(*observer, obs_out,
+                              "\"127.0.0.1:7912\" -> \"127.0.0.1:7913\"",
+                              seconds(5.0)))
+      << obs_out;
+
+  // Kill the source through the console; the observer notices.
+  observer->write_line("kill 127.0.0.1:7912");
+  ASSERT_TRUE(wait_for_output(*source, src_out, "down", seconds(5.0)));
+
+  observer->write_line("quit");
+}
+
+}  // namespace
+}  // namespace iov

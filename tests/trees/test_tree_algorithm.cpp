@@ -1,0 +1,160 @@
+// Tree-construction protocol tests on the simulator: join handshake,
+// strategy-specific topology shapes, stress accounting, failure
+// handling, and tree invariants across seeds (property sweep).
+#include "trees/tree_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trees/scenario.h"
+
+namespace iov::trees {
+namespace {
+
+TreeExperimentConfig small_config(TreeStrategy strategy, u64 seed = 1) {
+  TreeExperimentConfig config;
+  config.strategy = strategy;
+  config.seed = seed;
+  config.source_bandwidth = 200e3;
+  config.receiver_bandwidth = {100e3, 500e3, 200e3, 100e3};
+  config.join_spacing = seconds(2.0);
+  config.settle = seconds(2.0);
+  config.measure = seconds(10.0);
+  return config;
+}
+
+// Validates the tree structure: every attached receiver has a valid
+// parent chain ending at the source, with no cycles.
+void expect_valid_tree(const TreeExperimentResult& result) {
+  std::map<NodeId, NodeId> parent_of;
+  for (const auto* r : result.receivers()) {
+    if (r->in_tree) {
+      EXPECT_TRUE(r->parent.valid()) << r->id.to_string();
+      parent_of[r->id] = r->parent;
+    }
+  }
+  const NodeId root = result.source().id;
+  for (const auto& [node, first_parent] : parent_of) {
+    NodeId cursor = node;
+    std::set<NodeId> seen;
+    while (cursor != root) {
+      ASSERT_TRUE(seen.insert(cursor).second)
+          << "cycle through " << cursor.to_string();
+      const auto it = parent_of.find(cursor);
+      ASSERT_NE(it, parent_of.end())
+          << cursor.to_string() << " attached to a node outside the tree";
+      cursor = it->second;
+    }
+  }
+}
+
+TEST(TreeAlgorithm, AllReceiversAttachUnderEveryStrategy) {
+  for (const auto strategy :
+       {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+        TreeStrategy::kNsAware}) {
+    const auto result = run_tree_experiment(small_config(strategy));
+    EXPECT_EQ(result.attach_rate(), 1.0) << strategy_name(strategy);
+    expect_valid_tree(result);
+  }
+}
+
+TEST(TreeAlgorithm, AllUnicastBuildsAStar) {
+  const auto result = run_tree_experiment(
+      small_config(TreeStrategy::kAllUnicast));
+  // Every receiver hangs directly off the source.
+  for (const auto* r : result.receivers()) {
+    EXPECT_EQ(r->parent, result.source().id);
+  }
+  EXPECT_EQ(result.source().degree, result.receivers().size());
+}
+
+TEST(TreeAlgorithm, AllUnicastSplitsSourceBandwidth) {
+  const auto result = run_tree_experiment(
+      small_config(TreeStrategy::kAllUnicast));
+  // Four receivers share the source's 200 KB/s last mile: ~50 KB/s each
+  // (paper Fig 9(b)).
+  for (const auto* r : result.receivers()) {
+    EXPECT_GT(r->goodput, 30e3) << r->id.to_string();
+    EXPECT_LT(r->goodput, 75e3) << r->id.to_string();
+  }
+}
+
+TEST(TreeAlgorithm, NsAwareBeatsUnicastOnThroughput) {
+  const auto unicast =
+      run_tree_experiment(small_config(TreeStrategy::kAllUnicast));
+  const auto ns_aware =
+      run_tree_experiment(small_config(TreeStrategy::kNsAware));
+  // Table 3 / Fig 9: "with respect to end-to-end throughput, our new
+  // algorithm has the upper hand".
+  EXPECT_GT(ns_aware.mean_receiver_goodput(),
+            unicast.mean_receiver_goodput() * 1.3);
+}
+
+TEST(TreeAlgorithm, NsAwareBoundsSourceDegree) {
+  const auto result = run_tree_experiment(small_config(TreeStrategy::kNsAware));
+  // The stress-aware tree never degenerates into the unicast star.
+  EXPECT_LT(result.source().degree, result.receivers().size());
+}
+
+TEST(TreeAlgorithm, StressMatchesDegreeOverBandwidth) {
+  const auto result = run_tree_experiment(small_config(TreeStrategy::kNsAware));
+  for (const auto& node : result.nodes) {
+    const double expected =
+        node.last_mile > 0
+            ? static_cast<double>(node.degree) / (node.last_mile / 100e3)
+            : 0.0;
+    EXPECT_DOUBLE_EQ(node.stress, expected) << node.id.to_string();
+  }
+}
+
+TEST(TreeAlgorithm, DotOutputNamesAllAttachedNodes) {
+  const auto result = run_tree_experiment(small_config(TreeStrategy::kNsAware));
+  for (const auto* r : result.receivers()) {
+    if (r->in_tree) {
+      EXPECT_NE(result.dot.find(r->id.to_string()), std::string::npos);
+    }
+  }
+}
+
+struct SweepCase {
+  TreeStrategy strategy;
+  std::size_t receivers;
+  u64 seed;
+};
+
+class TreeSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TreeSweep, TreesAreValidAcrossSeedsAndSizes) {
+  const auto param = GetParam();
+  TreeExperimentConfig config;
+  config.strategy = param.strategy;
+  config.seed = param.seed;
+  config.source_bandwidth = 100e3;
+  Rng rng(param.seed * 77 + 1);
+  for (std::size_t i = 0; i < param.receivers; ++i) {
+    config.receiver_bandwidth.push_back(rng.uniform(50e3, 200e3));
+  }
+  config.join_spacing = seconds(1.0);
+  config.settle = seconds(2.0);
+  config.measure = seconds(5.0);
+  const auto result = run_tree_experiment(config);
+  EXPECT_GE(result.attach_rate(), 0.9);
+  expect_valid_tree(result);
+  // Attached receivers actually receive data.
+  for (const auto* r : result.receivers()) {
+    if (r->in_tree) EXPECT_GT(r->goodput, 0.0) << r->id.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeSweep,
+    ::testing::Values(SweepCase{TreeStrategy::kAllUnicast, 8, 1},
+                      SweepCase{TreeStrategy::kRandomized, 8, 2},
+                      SweepCase{TreeStrategy::kNsAware, 8, 3},
+                      SweepCase{TreeStrategy::kRandomized, 20, 4},
+                      SweepCase{TreeStrategy::kNsAware, 20, 5},
+                      SweepCase{TreeStrategy::kNsAware, 20, 6}));
+
+}  // namespace
+}  // namespace iov::trees

@@ -1,0 +1,162 @@
+// Tree construction over *real* engines and the real observer: the full
+// §3.3 stack — bootstrap through the observer, sAnnounce, observer-driven
+// joins, the sQuery/sQueryAck/sAttach handshake over TCP, stress
+// exchange on engine timers, and live data dissemination down the tree.
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "engine/engine.h"
+#include "observer/observer.h"
+#include "trees/tree_algorithm.h"
+#include "../engine/engine_test_util.h"
+
+namespace iov::trees {
+namespace {
+
+using test::wait_until;
+
+constexpr u32 kApp = 1;
+
+// TreeAlgorithm whose session state can be observed from the test thread
+// (the engine thread mutates the real state; we mirror it under a mutex
+// after every processed message).
+class ObservableTree : public TreeAlgorithm {
+ public:
+  using TreeAlgorithm::TreeAlgorithm;
+
+  struct Snapshot {
+    bool in_tree = false;
+    NodeId parent;
+    std::size_t children = 0;
+  };
+
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snap_;
+  }
+
+  Disposition process(const MsgPtr& m) override {
+    const Disposition d = TreeAlgorithm::process(m);
+    Snapshot fresh;
+    fresh.in_tree = in_tree(kApp);
+    if (const auto p = parent(kApp)) fresh.parent = *p;
+    fresh.children = children(kApp).size();
+    std::lock_guard<std::mutex> lock(mu_);
+    snap_ = fresh;
+    return d;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot snap_;
+};
+
+struct Member {
+  std::unique_ptr<engine::Engine> engine;
+  ObservableTree* alg = nullptr;
+  std::shared_ptr<apps::SinkApp> sink;
+};
+
+Member make_member(const NodeId& observer, TreeStrategy strategy, double bw,
+                   bool is_source) {
+  auto algorithm = std::make_unique<ObservableTree>(strategy, bw);
+  Member m;
+  m.alg = algorithm.get();
+  engine::EngineConfig config;
+  config.observer = observer;
+  config.bandwidth.node_up = bw;
+  m.engine = std::make_unique<engine::Engine>(config, std::move(algorithm));
+  if (is_source) {
+    m.engine->register_app(kApp,
+                           std::make_shared<apps::CbrSource>(1000, bw));
+  } else {
+    m.sink = std::make_shared<apps::SinkApp>();
+    m.engine->register_app(kApp, m.sink);
+  }
+  return m;
+}
+
+class TreeRealEngine : public ::testing::TestWithParam<TreeStrategy> {};
+
+TEST_P(TreeRealEngine, SessionAssemblesAndStreams) {
+  const TreeStrategy strategy = GetParam();
+  observer::Observer obs{observer::ObserverConfig{}};
+  ASSERT_TRUE(obs.start());
+
+  Member source = make_member(obs.address(), strategy, 200e3, true);
+  ASSERT_TRUE(source.engine->start());
+  std::vector<Member> receivers;
+  for (const double bw : {100e3, 500e3, 200e3}) {
+    receivers.push_back(make_member(obs.address(), strategy, bw, false));
+    ASSERT_TRUE(receivers.back().engine->start());
+  }
+  ASSERT_TRUE(wait_until([&] { return obs.alive_count() == 4; }));
+
+  // Observer-side orchestration, exactly as the GUI would drive it.
+  ASSERT_TRUE(obs.announce(source.engine->self(), kApp,
+                           source.engine->self()));
+  for (const auto& r : receivers) {
+    ASSERT_TRUE(obs.announce(r.engine->self(), kApp, source.engine->self()));
+  }
+  ASSERT_TRUE(obs.deploy(source.engine->self(), kApp));
+  for (const auto& r : receivers) {
+    ASSERT_TRUE(obs.join_app(r.engine->self(), kApp,
+                             source.engine->self().to_string()));
+    ASSERT_TRUE(wait_until([&] { return r.alg->snapshot().in_tree; }))
+        << strategy_name(strategy);
+  }
+
+  // Everyone attached with a valid parent and receives data.
+  for (const auto& r : receivers) {
+    ASSERT_TRUE(wait_until([&] { return r.sink->stats(0).msgs > 20; }))
+        << strategy_name(strategy);
+  }
+
+  // The observer's topology dump names the session edges.
+  ASSERT_TRUE(wait_until([&] {
+    return obs.topology_dot().find("->") != std::string::npos;
+  }));
+
+  for (auto& r : receivers) r.engine->stop();
+  source.engine->stop();
+  for (auto& r : receivers) r.engine->join();
+  source.engine->join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TreeRealEngine,
+                         ::testing::Values(TreeStrategy::kAllUnicast,
+                                           TreeStrategy::kRandomized,
+                                           TreeStrategy::kNsAware));
+
+TEST(TreeRealEngine, UnicastStarMatchesPaperShape) {
+  observer::Observer obs{observer::ObserverConfig{}};
+  ASSERT_TRUE(obs.start());
+  Member source =
+      make_member(obs.address(), TreeStrategy::kAllUnicast, 200e3, true);
+  ASSERT_TRUE(source.engine->start());
+  std::vector<Member> receivers;
+  for (int i = 0; i < 3; ++i) {
+    receivers.push_back(
+        make_member(obs.address(), TreeStrategy::kAllUnicast, 100e3, false));
+    ASSERT_TRUE(receivers.back().engine->start());
+  }
+  ASSERT_TRUE(wait_until([&] { return obs.alive_count() == 4; }));
+  obs.announce(source.engine->self(), kApp, source.engine->self());
+  obs.deploy(source.engine->self(), kApp);
+  for (const auto& r : receivers) {
+    obs.announce(r.engine->self(), kApp, source.engine->self());
+    obs.join_app(r.engine->self(), kApp,
+                 source.engine->self().to_string());
+    ASSERT_TRUE(wait_until([&] { return r.alg->snapshot().in_tree; }));
+  }
+  // All-unicast: every receiver is a direct child of the source.
+  for (const auto& r : receivers) {
+    EXPECT_EQ(r.alg->snapshot().parent, source.engine->self());
+  }
+  ASSERT_TRUE(wait_until(
+      [&] { return source.alg->snapshot().children == 3; }));
+}
+
+}  // namespace
+}  // namespace iov::trees

@@ -1,0 +1,256 @@
+// Protocol-level unit tests of TreeAlgorithm against FakeEngine:
+// query routing per strategy, the join handshake, visited-list loop
+// freedom, TTL exhaustion, stress exchange, and failure reactions —
+// without any substrate.
+#include <gtest/gtest.h>
+
+#include "../algorithm/fake_engine.h"
+#include "trees/tree_algorithm.h"
+
+namespace iov::trees {
+namespace {
+
+using test::FakeEngine;
+
+constexpr u32 kApp = 1;
+const NodeId kJoiner = NodeId::loopback(3001);
+const NodeId kSource = NodeId::loopback(3002);
+const NodeId kChild = NodeId::loopback(3003);
+const NodeId kParent = NodeId::loopback(3004);
+
+MsgPtr query(const NodeId& joiner, i32 ttl = 16, std::string_view visited = "") {
+  return Msg::control(kSQuery, joiner, kApp, ttl, 0,
+                      visited.empty() ? joiner.to_string()
+                                      : std::string(visited));
+}
+
+MsgPtr stress_report(const NodeId& from, double stress) {
+  return Msg::control(kSStress, from, kApp,
+                      static_cast<i32>(stress * 1e6));
+}
+
+// Puts `alg` in the tree as the source of kApp.
+void deploy(FakeEngine& engine, TreeAlgorithm& alg) {
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSDeploy, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+}
+
+TEST(TreeUnit, SourceAcceptsFirstJoinerUnderEveryStrategy) {
+  for (const auto strategy :
+       {TreeStrategy::kAllUnicast, TreeStrategy::kRandomized,
+        TreeStrategy::kNsAware}) {
+    FakeEngine engine;
+    TreeAlgorithm alg(strategy, 100e3);
+    deploy(engine, alg);
+    alg.process(query(kJoiner));
+    const auto acks = engine.sent_to(kJoiner);
+    ASSERT_EQ(acks.size(), 1u) << strategy_name(strategy);
+    EXPECT_EQ(acks[0]->type(), kSQueryAck);
+  }
+}
+
+TEST(TreeUnit, JoinHandshakeSetsParentAndAttaches) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp), 0, kSource.to_string()));
+  // The hinted entry point receives the query.
+  ASSERT_EQ(engine.sent_to(kSource).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kSource)[0]->type(), kSQuery);
+
+  // An ack from the acceptor attaches us.
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));
+  EXPECT_TRUE(alg.in_tree(kApp));
+  EXPECT_EQ(alg.parent(kApp), kParent);
+  const auto to_parent = engine.sent_to(kParent);
+  ASSERT_EQ(to_parent.size(), 1u);
+  EXPECT_EQ(to_parent[0]->type(), kSAttach);
+  EXPECT_EQ(alg.degree(kApp), 1u);
+}
+
+TEST(TreeUnit, SecondAckIsIgnored) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kRandomized, 100e3);
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));
+  alg.process(Msg::control(kSQueryAck, kSource, kApp));  // late duplicate
+  EXPECT_EQ(alg.parent(kApp), kParent);
+  EXPECT_EQ(engine.count_type(kSAttach), 1u);
+}
+
+TEST(TreeUnit, AttachAddsChildAndDegree) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 200e3);
+  deploy(engine, alg);
+  alg.process(Msg::control(kSAttach, kChild, kApp));
+  EXPECT_EQ(alg.children(kApp), std::vector<NodeId>{kChild});
+  EXPECT_EQ(alg.degree(kApp), 1u);
+  // stress = degree / (200 KB/s / 100 KB/s) = 0.5
+  EXPECT_DOUBLE_EQ(alg.node_stress(kApp), 0.5);
+}
+
+TEST(TreeUnit, UnicastForwardsQueryToSource) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kAllUnicast, 100e3);
+  engine.attach(alg);
+  // In-tree non-source node that knows the announced source.
+  alg.process(Msg::control(MsgType::kSAnnounce, NodeId(), kControlApp,
+                           static_cast<i32>(kApp), 0, kSource.to_string()));
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));  // now in tree
+  engine.sent.clear();
+
+  alg.process(query(kJoiner));
+  const auto forwarded = engine.sent_to(kSource);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0]->type(), kSQuery);
+  EXPECT_EQ(forwarded[0]->origin(), kJoiner);  // joiner preserved
+  EXPECT_TRUE(engine.sent_to(kJoiner).empty());  // did not accept
+}
+
+TEST(TreeUnit, RandomizedAcceptsImmediately) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kRandomized, 100e3);
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));
+  engine.sent.clear();
+  alg.process(query(kJoiner));
+  ASSERT_EQ(engine.sent_to(kJoiner).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kJoiner)[0]->type(), kSQueryAck);
+}
+
+TEST(TreeUnit, NsAwareForwardsTowardLowerStressNeighbor) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);  // own stress grows fast
+  deploy(engine, alg);
+  alg.process(Msg::control(kSAttach, kChild, kApp));  // degree 1 -> stress 1.0
+  alg.process(stress_report(kChild, 0.2));            // child is less stressed
+  engine.sent.clear();
+
+  alg.process(query(kJoiner));
+  // Must route to the child rather than accept.
+  ASSERT_EQ(engine.sent_to(kChild).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kChild)[0]->type(), kSQuery);
+  EXPECT_TRUE(engine.sent_to(kJoiner).empty());
+  // The visited list now names this node.
+  EXPECT_NE(engine.sent_to(kChild)[0]->param_text().find(
+                engine.self().to_string()),
+            std::string_view::npos);
+}
+
+TEST(TreeUnit, NsAwareAcceptsAtLocalMinimum) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 500e3);  // high bandwidth
+  deploy(engine, alg);
+  alg.process(Msg::control(kSAttach, kChild, kApp));
+  alg.process(stress_report(kChild, 3.0));  // child is worse
+  engine.sent.clear();
+  alg.process(query(kJoiner));
+  ASSERT_EQ(engine.sent_to(kJoiner).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kJoiner)[0]->type(), kSQueryAck);
+}
+
+TEST(TreeUnit, NsAwareSkipsVisitedNeighbors) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  deploy(engine, alg);
+  alg.process(Msg::control(kSAttach, kChild, kApp));
+  alg.process(stress_report(kChild, 0.1));
+  engine.sent.clear();
+  // The better neighbour already routed this query: accept instead of
+  // bouncing it back (loop freedom).
+  const std::string visited =
+      kJoiner.to_string() + "," + kChild.to_string();
+  alg.process(query(kJoiner, 16, visited));
+  ASSERT_EQ(engine.sent_to(kJoiner).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kJoiner)[0]->type(), kSQueryAck);
+}
+
+TEST(TreeUnit, NonTreeNodeRelaysWithTtl) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  engine.attach(alg);
+  alg.known_hosts().add(kChild, engine.self());
+  alg.process(query(kJoiner, 5));
+  ASSERT_EQ(engine.sent.size(), 1u);
+  EXPECT_EQ(engine.sent[0].msg->type(), kSQuery);
+  EXPECT_EQ(engine.sent[0].msg->param(0), 4);  // TTL decremented
+}
+
+TEST(TreeUnit, NonTreeNodeDropsAtTtlZero) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  engine.attach(alg);
+  alg.known_hosts().add(kChild, engine.self());
+  alg.process(query(kJoiner, 1));
+  EXPECT_TRUE(engine.sent.empty());
+}
+
+TEST(TreeUnit, StressTimerExchangesWithNeighbors) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  deploy(engine, alg);
+  alg.on_start();
+  ASSERT_FALSE(engine.timers.empty());
+  alg.process(Msg::control(kSAttach, kChild, kApp));
+  engine.sent.clear();
+  alg.process(Msg::control(MsgType::kTimer, engine.self(), kControlApp,
+                           engine.timers[0].second));
+  const auto to_child = engine.sent_to(kChild);
+  ASSERT_EQ(to_child.size(), 1u);
+  EXPECT_EQ(to_child[0]->type(), kSStress);
+  EXPECT_EQ(to_child[0]->param(0), 1000000);  // stress 1.0 scaled by 1e6
+}
+
+TEST(TreeUnit, ParentLossDropsOutOfTree) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));
+  ASSERT_TRUE(alg.in_tree(kApp));
+  alg.process(Msg::control(MsgType::kBrokenLink, kParent, kControlApp));
+  EXPECT_FALSE(alg.in_tree(kApp));
+  EXPECT_EQ(alg.parent(kApp), std::nullopt);
+}
+
+TEST(TreeUnit, BrokenSourceClearsSession) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));
+  alg.process(Msg::control(kSAttach, kChild, kApp));
+  alg.process(std::make_shared<Msg>(MsgType::kBrokenSource, kSource, kApp, 0,
+                                    Buffer::empty_buffer()));
+  EXPECT_FALSE(alg.in_tree(kApp));
+  EXPECT_EQ(alg.degree(kApp), 0u);
+}
+
+TEST(TreeUnit, DataForwardsToChildrenAndConsumes) {
+  FakeEngine engine;
+  TreeAlgorithm alg(TreeStrategy::kNsAware, 100e3);
+  engine.attach(alg);
+  alg.process(Msg::control(MsgType::kSJoin, NodeId(), kControlApp,
+                           static_cast<i32>(kApp)));
+  alg.process(Msg::control(kSQueryAck, kParent, kApp));
+  alg.process(Msg::control(kSAttach, kChild, kApp));
+  engine.sent.clear();
+  const auto m = Msg::data(kSource, kApp, 0, Buffer::pattern(32, 0));
+  alg.process(m);
+  EXPECT_EQ(engine.delivered_local.size(), 1u);
+  ASSERT_EQ(engine.sent_to(kChild).size(), 1u);
+  EXPECT_EQ(engine.sent_to(kChild)[0].get(), m.get());  // zero copy
+}
+
+}  // namespace
+}  // namespace iov::trees

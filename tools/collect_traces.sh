@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Collects per-node local trace files into one time-sorted log — the
+# paper's "iOverlay provides scripts to collect them after algorithm
+# execution" (§2.2). Nodes write local traces when launched with a
+# local_trace_path (iov_node --trace-file PATH).
+#
+#   tools/collect_traces.sh <output> <trace-file>...
+set -euo pipefail
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <output> <trace-file>..." >&2
+  exit 2
+fi
+OUT=$1
+shift
+# Every line starts with "[   seconds] node ..."; a lexicographic sort on
+# the fixed-width timestamp field is a chronological merge.
+cat "$@" | sort -k1,1 > "$OUT"
+echo "merged $# trace files, $(wc -l < "$OUT") records -> $OUT"

@@ -1,0 +1,175 @@
+// iov_node — run one iOverlay node as a standalone process.
+//
+// The multi-process face of the middleware: start an observer
+// (iov_observerd), then launch any number of nodes against it — on one
+// machine (virtualized nodes, distinct ports) or many. The node runs
+// until the observer terminates it or SIGINT/SIGTERM arrives.
+//
+//   iov_node --observer 127.0.0.1:7000 [options]
+//
+// Options:
+//   --port N              publicized port (default: ephemeral)
+//   --algorithm NAME      relay | tree-unicast | tree-random | tree-ns
+//                         (default relay)
+//   --last-mile BPS       advertised last-mile bandwidth for the tree
+//                         algorithms and the node's emulated uplink
+//   --bw-up/--bw-down/--bw-total BPS   emulated bandwidth caps
+//   --buffers N           receiver/sender buffer capacity in messages
+//   --source APP:BYTES[:BPS]  register a source app (CBR when BPS given,
+//                         back-to-back otherwise); deploy via observer
+//   --sink APP            register a measuring sink for session APP
+//   --socket-buffers B    cap kernel socket buffers (back-pressure demos)
+//   --trace-file PATH     log kTrace locally (collect_traces.sh)
+//   --seed S              deterministic per-node random stream
+//   --verbose             info-level logging
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "algorithm/relay.h"
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "engine/engine.h"
+#include "trees/tree_algorithm.h"
+
+namespace {
+
+using namespace iov;  // NOLINT
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --observer ip:port [--port N] [--algorithm "
+               "relay|tree-unicast|tree-random|tree-ns] [--last-mile BPS] "
+               "[--bw-up BPS] [--bw-down BPS] [--bw-total BPS] [--buffers N] "
+               "[--source APP:BYTES[:BPS]] [--sink APP] [--socket-buffers B] "
+               "[--trace-file PATH] "
+               "[--seed S] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* s) { return std::strtod(s, nullptr); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  engine::EngineConfig config;
+  std::string algorithm_name = "relay";
+  double last_mile = 0.0;
+  struct SourceSpec {
+    u32 app;
+    std::size_t bytes;
+    double rate;  // 0 = back-to-back
+  };
+  std::vector<SourceSpec> source_specs;
+  std::vector<u32> sink_apps;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--observer") {
+      const auto id = NodeId::parse(next());
+      if (!id) usage(argv[0]);
+      config.observer = *id;
+    } else if (arg == "--port") {
+      config.port = static_cast<u16>(std::atoi(next()));
+    } else if (arg == "--algorithm") {
+      algorithm_name = next();
+    } else if (arg == "--last-mile") {
+      last_mile = parse_double(next());
+    } else if (arg == "--bw-up") {
+      config.bandwidth.node_up = parse_double(next());
+    } else if (arg == "--bw-down") {
+      config.bandwidth.node_down = parse_double(next());
+    } else if (arg == "--bw-total") {
+      config.bandwidth.node_total = parse_double(next());
+    } else if (arg == "--buffers") {
+      config.recv_buffer_msgs = static_cast<std::size_t>(std::atoi(next()));
+      config.send_buffer_msgs = config.recv_buffer_msgs;
+    } else if (arg == "--socket-buffers") {
+      config.socket_buffer_bytes = std::atoi(next());
+    } else if (arg == "--trace-file") {
+      config.local_trace_path = next();
+    } else if (arg == "--seed") {
+      config.seed = static_cast<u64>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--source") {
+      const auto parts = split(next(), ':');
+      if (parts.size() < 2) usage(argv[0]);
+      SourceSpec spec{};
+      spec.app = static_cast<u32>(std::atoi(parts[0].c_str()));
+      spec.bytes = static_cast<std::size_t>(std::atoi(parts[1].c_str()));
+      spec.rate = parts.size() > 2 ? parse_double(parts[2].c_str()) : 0.0;
+      source_specs.push_back(spec);
+    } else if (arg == "--sink") {
+      sink_apps.push_back(static_cast<u32>(std::atoi(next())));
+    } else if (arg == "--verbose") {
+      Logger::instance().set_level(LogLevel::kInfo);
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (last_mile > 0.0 && config.bandwidth.node_up == 0.0) {
+    config.bandwidth.node_up = last_mile;
+  }
+
+  std::unique_ptr<Algorithm> algorithm;
+  if (algorithm_name == "relay") {
+    algorithm = std::make_unique<RelayAlgorithm>();
+  } else if (algorithm_name == "tree-unicast") {
+    algorithm = std::make_unique<trees::TreeAlgorithm>(
+        trees::TreeStrategy::kAllUnicast, last_mile);
+  } else if (algorithm_name == "tree-random") {
+    algorithm = std::make_unique<trees::TreeAlgorithm>(
+        trees::TreeStrategy::kRandomized, last_mile);
+  } else if (algorithm_name == "tree-ns") {
+    algorithm = std::make_unique<trees::TreeAlgorithm>(
+        trees::TreeStrategy::kNsAware, last_mile);
+  } else {
+    usage(argv[0]);
+  }
+
+  engine::Engine node(config, std::move(algorithm));
+  for (const auto& spec : source_specs) {
+    if (spec.rate > 0.0) {
+      node.register_app(spec.app,
+                        std::make_shared<apps::CbrSource>(spec.bytes,
+                                                          spec.rate));
+    } else {
+      node.register_app(spec.app,
+                        std::make_shared<apps::BackToBackSource>(spec.bytes));
+    }
+  }
+  for (const u32 app : sink_apps) {
+    node.register_app(app, std::make_shared<apps::SinkApp>());
+  }
+
+  if (!node.start()) {
+    std::fprintf(stderr, "failed to start (port %u busy?)\n", config.port);
+    return 1;
+  }
+  std::printf("iov_node %s (%s) up%s\n", node.self().to_string().c_str(),
+              algorithm_name.c_str(),
+              config.observer.valid() ? "" : " [standalone]");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (node.running() && !g_stop) sleep_for(millis(100));
+  node.stop();
+  node.join();
+  std::printf("iov_node %s down\n", node.self().to_string().c_str());
+  return 0;
+}

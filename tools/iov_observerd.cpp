@@ -1,0 +1,190 @@
+// iov_observerd — the observer as a standalone daemon with an
+// interactive control console (the headless stand-in for the paper's
+// Windows GUI).
+//
+//   iov_observerd [--port N] [--trace FILE] [--subset K]
+//
+// Console commands (one per line on stdin):
+//   list                         alive nodes and their last report
+//   dot                          Graphviz dump of the overlay topology
+//   traces [N]                   last N trace records (default 10)
+//   deploy <node> <app>          deploy an application source
+//   stop-source <node> <app>     terminate an application source
+//   join <node> <app> [hint]     ask a node to join a session
+//   leave <node> <app>           ask a node to leave a session
+//   bw <node> <scope> <bps> [peer]
+//                                scope: total|up|down|link-up|link-down
+//   control <node> <p0> <p1> [text]   algorithm-specific control message
+//   kill <node>                  terminate a node
+//   quit                         shut the observer down
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "engine/engine.h"
+#include "observer/observer.h"
+
+namespace {
+
+using namespace iov;  // NOLINT
+
+std::optional<i32> parse_scope(const std::string& s) {
+  if (s == "total") return engine::kBwNodeTotal;
+  if (s == "up") return engine::kBwNodeUp;
+  if (s == "down") return engine::kBwNodeDown;
+  if (s == "link-up") return engine::kBwLinkUp;
+  if (s == "link-down") return engine::kBwLinkDown;
+  return std::nullopt;
+}
+
+void cmd_list(const observer::Observer& obs) {
+  for (const auto& info : obs.nodes()) {
+    std::printf("%-22s %-5s", info.id.to_string().c_str(),
+                info.alive ? "alive" : "dead");
+    if (info.last_report) {
+      const auto& r = *info.last_report;
+      std::printf(" up=%zu down=%zu src=%zu joined=%zu  %s",
+                  r.upstreams.size(), r.downstreams.size(),
+                  r.source_apps.size(), r.joined_apps.size(),
+                  r.algorithm_status.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu alive\n", obs.alive_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  observer::ObserverConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<u16>(std::atoi(next()));
+    } else if (arg == "--trace") {
+      config.trace_path = next();
+    } else if (arg == "--subset") {
+      config.bootstrap_subset = static_cast<std::size_t>(std::atoi(next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--trace FILE] [--subset K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  observer::Observer obs(config);
+  if (!obs.start()) {
+    std::fprintf(stderr, "failed to bind port %u\n", config.port);
+    return 1;
+  }
+  std::printf("observer listening at %s — type 'help' for commands\n",
+              obs.address().to_string().c_str());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    const auto node_arg = [&]() -> std::optional<NodeId> {
+      std::string text;
+      in >> text;
+      const auto id = NodeId::parse(text);
+      if (!id) std::printf("bad node id '%s'\n", text.c_str());
+      return id;
+    };
+    const auto report = [&](bool ok) {
+      std::printf(ok ? "ok\n" : "failed (node connected?)\n");
+    };
+
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      std::printf(
+          "list | dot | traces [N] | deploy <node> <app> | stop-source "
+          "<node> <app> | join <node> <app> [hint] | leave <node> <app> | "
+          "bw <node> total|up|down|link-up|link-down <bps> [peer] | "
+          "control <node> <p0> <p1> [text] | kill <node> | quit\n");
+    } else if (cmd == "list") {
+      cmd_list(obs);
+    } else if (cmd == "dot") {
+      std::printf("%s", obs.topology_dot().c_str());
+    } else if (cmd == "traces") {
+      std::size_t n = 10;
+      in >> n;
+      const auto traces = obs.traces();
+      const std::size_t start = traces.size() > n ? traces.size() - n : 0;
+      for (std::size_t i = start; i < traces.size(); ++i) {
+        std::printf("[%s] %s\n", traces[i].node.to_string().c_str(),
+                    traces[i].text.c_str());
+      }
+    } else if (cmd == "deploy" || cmd == "stop-source" || cmd == "leave") {
+      const auto id = node_arg();
+      u32 app = 0;
+      in >> app;
+      if (!id) continue;
+      if (cmd == "deploy") {
+        report(obs.deploy(*id, app));
+      } else if (cmd == "stop-source") {
+        report(obs.terminate_source(*id, app));
+      } else {
+        report(obs.leave_app(*id, app));
+      }
+    } else if (cmd == "join") {
+      const auto id = node_arg();
+      u32 app = 0;
+      std::string hint;
+      in >> app >> hint;
+      if (id) report(obs.join_app(*id, app, hint));
+    } else if (cmd == "bw") {
+      const auto id = node_arg();
+      std::string scope_text;
+      double rate = 0.0;
+      std::string peer_text;
+      in >> scope_text >> rate >> peer_text;
+      const auto scope = parse_scope(scope_text);
+      if (!id || !scope) {
+        std::printf("bad scope '%s'\n", scope_text.c_str());
+        continue;
+      }
+      NodeId peer;
+      if (!peer_text.empty()) {
+        const auto parsed = NodeId::parse(peer_text);
+        if (parsed) peer = *parsed;
+      }
+      report(obs.set_bandwidth(*id, *scope, rate, peer));
+    } else if (cmd == "control") {
+      const auto id = node_arg();
+      i32 p0 = 0;
+      i32 p1 = 0;
+      std::string text;
+      in >> p0 >> p1;
+      std::getline(in, text);
+      if (id) {
+        report(obs.send_control(*id, MsgType::kControl, p0, p1,
+                                trim(text)));
+      }
+    } else if (cmd == "kill") {
+      const auto id = node_arg();
+      if (id) report(obs.terminate_node(*id));
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  obs.stop();
+  obs.join();
+  return 0;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Demo deployment script (the paper's "by taking advantage of the
+# deployment scripts in iOverlay, we are able to deploy, run, terminate
+# and collect data from all nodes, with one command for each operation"):
+# spins up an observer plus a small chain of virtualized relay nodes as
+# real processes on this machine, deploys a stream through the observer's
+# console protocol, shows the topology, and tears everything down.
+#
+#   tools/run_local_overlay.sh [build_dir] [nodes]
+set -euo pipefail
+
+BUILD=${1:-build}
+NODES=${2:-4}
+OBS_PORT=7800
+BASE_PORT=7810
+APP=1
+
+cleanup() {
+  kill "${PIDS[@]}" "${OBS_PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+mkfifo /tmp/iov_obs_ctl.$$ || true
+# Keep the console's stdin open for the daemon's whole life.
+(exec 3<>/tmp/iov_obs_ctl.$$; "$BUILD"/tools/iov_observerd --port $OBS_PORT <&3 &
+ echo $! > /tmp/iov_obs_pid.$$) &
+sleep 0.5
+OBS_PID=$(cat /tmp/iov_obs_pid.$$)
+echo "observer pid $OBS_PID at 127.0.0.1:$OBS_PORT"
+
+PIDS=()
+for i in $(seq 1 "$NODES"); do
+  PORT=$((BASE_PORT + i))
+  ARGS=(--observer 127.0.0.1:$OBS_PORT --port $PORT)
+  if [ "$i" -eq 1 ]; then
+    ARGS+=(--source $APP:5000)
+  fi
+  if [ "$i" -eq "$NODES" ]; then
+    ARGS+=(--sink $APP)
+  fi
+  "$BUILD"/tools/iov_node "${ARGS[@]}" &
+  PIDS+=($!)
+done
+sleep 1
+
+CTL() { echo "$1" > /tmp/iov_obs_ctl.$$; }
+
+# Wire the chain through the relay control messages and deploy.
+for i in $(seq 1 $((NODES - 1))); do
+  SRC=127.0.0.1:$((BASE_PORT + i))
+  DST=127.0.0.1:$((BASE_PORT + i + 1))
+  CTL "control $SRC 1 $APP $DST"   # RelayAlgorithm::kAddChild
+done
+CTL "join 127.0.0.1:$((BASE_PORT + NODES)) $APP"
+CTL "deploy 127.0.0.1:$((BASE_PORT + 1)) $APP"
+
+sleep 3
+CTL "list"
+CTL "dot"
+sleep 1
+CTL "quit"
+sleep 0.5
+echo "demo complete"
