@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_chain.dir/bench_fig05_chain.cpp.o"
+  "CMakeFiles/bench_fig05_chain.dir/bench_fig05_chain.cpp.o.d"
+  "bench_fig05_chain"
+  "bench_fig05_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_correctness.dir/bench_fig06_correctness.cpp.o"
+  "CMakeFiles/bench_fig06_correctness.dir/bench_fig06_correctness.cpp.o.d"
+  "bench_fig06_correctness"
+  "bench_fig06_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_large_buffers.dir/bench_fig07_large_buffers.cpp.o"
+  "CMakeFiles/bench_fig07_large_buffers.dir/bench_fig07_large_buffers.cpp.o.d"
+  "bench_fig07_large_buffers"
+  "bench_fig07_large_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_large_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

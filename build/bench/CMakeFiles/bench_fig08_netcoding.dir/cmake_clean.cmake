@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_netcoding.dir/bench_fig08_netcoding.cpp.o"
+  "CMakeFiles/bench_fig08_netcoding.dir/bench_fig08_netcoding.cpp.o.d"
+  "bench_fig08_netcoding"
+  "bench_fig08_netcoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_netcoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_federation_topology.dir/bench_fig14_federation_topology.cpp.o"
+  "CMakeFiles/bench_fig14_federation_topology.dir/bench_fig14_federation_topology.cpp.o.d"
+  "bench_fig14_federation_topology"
+  "bench_fig14_federation_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_federation_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

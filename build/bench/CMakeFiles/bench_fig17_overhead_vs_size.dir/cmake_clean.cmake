@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_overhead_vs_size.dir/bench_fig17_overhead_vs_size.cpp.o"
+  "CMakeFiles/bench_fig17_overhead_vs_size.dir/bench_fig17_overhead_vs_size.cpp.o.d"
+  "bench_fig17_overhead_vs_size"
+  "bench_fig17_overhead_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_overhead_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_demo.dir/dht_demo.cpp.o"
+  "CMakeFiles/dht_demo.dir/dht_demo.cpp.o.d"
+  "dht_demo"
+  "dht_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_demo.dir/federation_demo.cpp.o"
+  "CMakeFiles/federation_demo.dir/federation_demo.cpp.o.d"
+  "federation_demo"
+  "federation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_chain.dir/multicast_chain.cpp.o"
+  "CMakeFiles/multicast_chain.dir/multicast_chain.cpp.o.d"
+  "multicast_chain"
+  "multicast_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

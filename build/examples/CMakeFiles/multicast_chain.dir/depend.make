@@ -1,0 +1,2 @@
+# Empty dependencies file for multicast_chain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcoding_butterfly.dir/netcoding_butterfly.cpp.o"
+  "CMakeFiles/netcoding_butterfly.dir/netcoding_butterfly.cpp.o.d"
+  "netcoding_butterfly"
+  "netcoding_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcoding_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_demo.dir/pubsub_demo.cpp.o"
+  "CMakeFiles/pubsub_demo.dir/pubsub_demo.cpp.o.d"
+  "pubsub_demo"
+  "pubsub_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_join.dir/tree_join.cpp.o"
+  "CMakeFiles/tree_join.dir/tree_join.cpp.o.d"
+  "tree_join"
+  "tree_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

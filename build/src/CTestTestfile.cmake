@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("message")
+subdirs("net")
+subdirs("engine")
+subdirs("algorithm")
+subdirs("observer")
+subdirs("sim")
+subdirs("coding")
+subdirs("trees")
+subdirs("federation")
+subdirs("apps")
+subdirs("pubsub")
+subdirs("dht")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithm/algorithm.cpp" "src/algorithm/CMakeFiles/iov_algorithm.dir/algorithm.cpp.o" "gcc" "src/algorithm/CMakeFiles/iov_algorithm.dir/algorithm.cpp.o.d"
+  "/root/repo/src/algorithm/gossip.cpp" "src/algorithm/CMakeFiles/iov_algorithm.dir/gossip.cpp.o" "gcc" "src/algorithm/CMakeFiles/iov_algorithm.dir/gossip.cpp.o.d"
+  "/root/repo/src/algorithm/known_hosts.cpp" "src/algorithm/CMakeFiles/iov_algorithm.dir/known_hosts.cpp.o" "gcc" "src/algorithm/CMakeFiles/iov_algorithm.dir/known_hosts.cpp.o.d"
+  "/root/repo/src/algorithm/relay.cpp" "src/algorithm/CMakeFiles/iov_algorithm.dir/relay.cpp.o" "gcc" "src/algorithm/CMakeFiles/iov_algorithm.dir/relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/message/CMakeFiles/iov_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iov_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

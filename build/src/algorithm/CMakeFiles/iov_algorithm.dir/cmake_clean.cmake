@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_algorithm.dir/algorithm.cpp.o"
+  "CMakeFiles/iov_algorithm.dir/algorithm.cpp.o.d"
+  "CMakeFiles/iov_algorithm.dir/gossip.cpp.o"
+  "CMakeFiles/iov_algorithm.dir/gossip.cpp.o.d"
+  "CMakeFiles/iov_algorithm.dir/known_hosts.cpp.o"
+  "CMakeFiles/iov_algorithm.dir/known_hosts.cpp.o.d"
+  "CMakeFiles/iov_algorithm.dir/relay.cpp.o"
+  "CMakeFiles/iov_algorithm.dir/relay.cpp.o.d"
+  "libiov_algorithm.a"
+  "libiov_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_apps.dir/sink.cpp.o"
+  "CMakeFiles/iov_apps.dir/sink.cpp.o.d"
+  "CMakeFiles/iov_apps.dir/source.cpp.o"
+  "CMakeFiles/iov_apps.dir/source.cpp.o.d"
+  "CMakeFiles/iov_apps.dir/streaming.cpp.o"
+  "CMakeFiles/iov_apps.dir/streaming.cpp.o.d"
+  "libiov_apps.a"
+  "libiov_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

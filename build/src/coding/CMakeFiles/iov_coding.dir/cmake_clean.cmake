@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_coding.dir/coding_algorithm.cpp.o"
+  "CMakeFiles/iov_coding.dir/coding_algorithm.cpp.o.d"
+  "CMakeFiles/iov_coding.dir/decoder.cpp.o"
+  "CMakeFiles/iov_coding.dir/decoder.cpp.o.d"
+  "CMakeFiles/iov_coding.dir/gf256.cpp.o"
+  "CMakeFiles/iov_coding.dir/gf256.cpp.o.d"
+  "libiov_coding.a"
+  "libiov_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

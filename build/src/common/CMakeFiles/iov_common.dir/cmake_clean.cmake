@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_common.dir/clock.cpp.o"
+  "CMakeFiles/iov_common.dir/clock.cpp.o.d"
+  "CMakeFiles/iov_common.dir/logging.cpp.o"
+  "CMakeFiles/iov_common.dir/logging.cpp.o.d"
+  "CMakeFiles/iov_common.dir/node_id.cpp.o"
+  "CMakeFiles/iov_common.dir/node_id.cpp.o.d"
+  "CMakeFiles/iov_common.dir/rng.cpp.o"
+  "CMakeFiles/iov_common.dir/rng.cpp.o.d"
+  "CMakeFiles/iov_common.dir/stats.cpp.o"
+  "CMakeFiles/iov_common.dir/stats.cpp.o.d"
+  "CMakeFiles/iov_common.dir/strings.cpp.o"
+  "CMakeFiles/iov_common.dir/strings.cpp.o.d"
+  "libiov_common.a"
+  "libiov_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

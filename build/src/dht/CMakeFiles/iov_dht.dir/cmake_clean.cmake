@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_dht.dir/chord.cpp.o"
+  "CMakeFiles/iov_dht.dir/chord.cpp.o.d"
+  "libiov_dht.a"
+  "libiov_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

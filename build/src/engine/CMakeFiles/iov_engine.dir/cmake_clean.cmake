@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_engine.dir/engine.cpp.o"
+  "CMakeFiles/iov_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/iov_engine.dir/peer_link.cpp.o"
+  "CMakeFiles/iov_engine.dir/peer_link.cpp.o.d"
+  "CMakeFiles/iov_engine.dir/report.cpp.o"
+  "CMakeFiles/iov_engine.dir/report.cpp.o.d"
+  "libiov_engine.a"
+  "libiov_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

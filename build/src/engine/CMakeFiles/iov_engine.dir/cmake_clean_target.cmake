@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiov_engine.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_federation.dir/federation_algorithm.cpp.o"
+  "CMakeFiles/iov_federation.dir/federation_algorithm.cpp.o.d"
+  "CMakeFiles/iov_federation.dir/scenario.cpp.o"
+  "CMakeFiles/iov_federation.dir/scenario.cpp.o.d"
+  "CMakeFiles/iov_federation.dir/service_graph.cpp.o"
+  "CMakeFiles/iov_federation.dir/service_graph.cpp.o.d"
+  "libiov_federation.a"
+  "libiov_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/message/buffer.cpp" "src/message/CMakeFiles/iov_message.dir/buffer.cpp.o" "gcc" "src/message/CMakeFiles/iov_message.dir/buffer.cpp.o.d"
+  "/root/repo/src/message/codec.cpp" "src/message/CMakeFiles/iov_message.dir/codec.cpp.o" "gcc" "src/message/CMakeFiles/iov_message.dir/codec.cpp.o.d"
+  "/root/repo/src/message/msg.cpp" "src/message/CMakeFiles/iov_message.dir/msg.cpp.o" "gcc" "src/message/CMakeFiles/iov_message.dir/msg.cpp.o.d"
+  "/root/repo/src/message/types.cpp" "src/message/CMakeFiles/iov_message.dir/types.cpp.o" "gcc" "src/message/CMakeFiles/iov_message.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

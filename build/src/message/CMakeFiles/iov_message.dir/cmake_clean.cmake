@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_message.dir/buffer.cpp.o"
+  "CMakeFiles/iov_message.dir/buffer.cpp.o.d"
+  "CMakeFiles/iov_message.dir/codec.cpp.o"
+  "CMakeFiles/iov_message.dir/codec.cpp.o.d"
+  "CMakeFiles/iov_message.dir/msg.cpp.o"
+  "CMakeFiles/iov_message.dir/msg.cpp.o.d"
+  "CMakeFiles/iov_message.dir/types.cpp.o"
+  "CMakeFiles/iov_message.dir/types.cpp.o.d"
+  "libiov_message.a"
+  "libiov_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth.cpp" "src/net/CMakeFiles/iov_net.dir/bandwidth.cpp.o" "gcc" "src/net/CMakeFiles/iov_net.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/net/CMakeFiles/iov_net.dir/framing.cpp.o" "gcc" "src/net/CMakeFiles/iov_net.dir/framing.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/iov_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/iov_net.dir/socket.cpp.o.d"
+  "/root/repo/src/net/throughput.cpp" "src/net/CMakeFiles/iov_net.dir/throughput.cpp.o" "gcc" "src/net/CMakeFiles/iov_net.dir/throughput.cpp.o.d"
+  "/root/repo/src/net/token_bucket.cpp" "src/net/CMakeFiles/iov_net.dir/token_bucket.cpp.o" "gcc" "src/net/CMakeFiles/iov_net.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/message/CMakeFiles/iov_message.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/iov_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/iov_net.dir/framing.cpp.o"
+  "CMakeFiles/iov_net.dir/framing.cpp.o.d"
+  "CMakeFiles/iov_net.dir/socket.cpp.o"
+  "CMakeFiles/iov_net.dir/socket.cpp.o.d"
+  "CMakeFiles/iov_net.dir/throughput.cpp.o"
+  "CMakeFiles/iov_net.dir/throughput.cpp.o.d"
+  "CMakeFiles/iov_net.dir/token_bucket.cpp.o"
+  "CMakeFiles/iov_net.dir/token_bucket.cpp.o.d"
+  "libiov_net.a"
+  "libiov_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

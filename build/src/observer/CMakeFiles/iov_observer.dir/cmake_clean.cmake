@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_observer.dir/observer.cpp.o"
+  "CMakeFiles/iov_observer.dir/observer.cpp.o.d"
+  "CMakeFiles/iov_observer.dir/proxy.cpp.o"
+  "CMakeFiles/iov_observer.dir/proxy.cpp.o.d"
+  "libiov_observer.a"
+  "libiov_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iov_observer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/predicate.cpp" "src/pubsub/CMakeFiles/iov_pubsub.dir/predicate.cpp.o" "gcc" "src/pubsub/CMakeFiles/iov_pubsub.dir/predicate.cpp.o.d"
+  "/root/repo/src/pubsub/pubsub_algorithm.cpp" "src/pubsub/CMakeFiles/iov_pubsub.dir/pubsub_algorithm.cpp.o" "gcc" "src/pubsub/CMakeFiles/iov_pubsub.dir/pubsub_algorithm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithm/CMakeFiles/iov_algorithm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iov_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/message/CMakeFiles/iov_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

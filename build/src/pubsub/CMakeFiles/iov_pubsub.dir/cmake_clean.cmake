@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_pubsub.dir/predicate.cpp.o"
+  "CMakeFiles/iov_pubsub.dir/predicate.cpp.o.d"
+  "CMakeFiles/iov_pubsub.dir/pubsub_algorithm.cpp.o"
+  "CMakeFiles/iov_pubsub.dir/pubsub_algorithm.cpp.o.d"
+  "libiov_pubsub.a"
+  "libiov_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

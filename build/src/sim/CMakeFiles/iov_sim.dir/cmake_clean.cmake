@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_sim.dir/sim_net.cpp.o"
+  "CMakeFiles/iov_sim.dir/sim_net.cpp.o.d"
+  "libiov_sim.a"
+  "libiov_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

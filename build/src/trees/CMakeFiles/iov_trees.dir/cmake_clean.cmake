@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_trees.dir/scenario.cpp.o"
+  "CMakeFiles/iov_trees.dir/scenario.cpp.o.d"
+  "CMakeFiles/iov_trees.dir/tree_algorithm.cpp.o"
+  "CMakeFiles/iov_trees.dir/tree_algorithm.cpp.o.d"
+  "libiov_trees.a"
+  "libiov_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

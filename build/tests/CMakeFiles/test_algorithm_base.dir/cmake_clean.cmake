@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_base.dir/algorithm/test_algorithm_base.cpp.o"
+  "CMakeFiles/test_algorithm_base.dir/algorithm/test_algorithm_base.cpp.o.d"
+  "test_algorithm_base"
+  "test_algorithm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth.dir/net/test_bandwidth.cpp.o"
+  "CMakeFiles/test_bandwidth.dir/net/test_bandwidth.cpp.o.d"
+  "test_bandwidth"
+  "test_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounded_queue.dir/common/test_bounded_queue.cpp.o"
+  "CMakeFiles/test_bounded_queue.dir/common/test_bounded_queue.cpp.o.d"
+  "test_bounded_queue"
+  "test_bounded_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounded_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chord_unit.dir/dht/test_chord_unit.cpp.o"
+  "CMakeFiles/test_chord_unit.dir/dht/test_chord_unit.cpp.o.d"
+  "test_chord_unit"
+  "test_chord_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chord_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coding/test_coding_algorithm.cpp" "tests/CMakeFiles/test_coding_algorithm.dir/coding/test_coding_algorithm.cpp.o" "gcc" "tests/CMakeFiles/test_coding_algorithm.dir/coding/test_coding_algorithm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/iov_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/iov_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/iov_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithm/CMakeFiles/iov_algorithm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iov_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/message/CMakeFiles/iov_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iov_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/iov_coding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding_algorithm.dir/coding/test_coding_algorithm.cpp.o"
+  "CMakeFiles/test_coding_algorithm.dir/coding/test_coding_algorithm.cpp.o.d"
+  "test_coding_algorithm"
+  "test_coding_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

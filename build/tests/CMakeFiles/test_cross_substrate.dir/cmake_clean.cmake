@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_substrate.dir/sim/test_cross_substrate.cpp.o"
+  "CMakeFiles/test_cross_substrate.dir/sim/test_cross_substrate.cpp.o.d"
+  "test_cross_substrate"
+  "test_cross_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_advanced.dir/engine/test_engine_advanced.cpp.o"
+  "CMakeFiles/test_engine_advanced.dir/engine/test_engine_advanced.cpp.o.d"
+  "test_engine_advanced"
+  "test_engine_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_basic.dir/engine/test_engine_basic.cpp.o"
+  "CMakeFiles/test_engine_basic.dir/engine/test_engine_basic.cpp.o.d"
+  "test_engine_basic"
+  "test_engine_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_failures.dir/engine/test_engine_failures.cpp.o"
+  "CMakeFiles/test_engine_failures.dir/engine/test_engine_failures.cpp.o.d"
+  "test_engine_failures"
+  "test_engine_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_federation.dir/federation/test_federation.cpp.o"
+  "CMakeFiles/test_federation.dir/federation/test_federation.cpp.o.d"
+  "test_federation"
+  "test_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_federation_edge.dir/federation/test_federation_edge.cpp.o"
+  "CMakeFiles/test_federation_edge.dir/federation/test_federation_edge.cpp.o.d"
+  "test_federation_edge"
+  "test_federation_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_federation_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_federation_unit.dir/federation/test_federation_unit.cpp.o"
+  "CMakeFiles/test_federation_unit.dir/federation/test_federation_unit.cpp.o.d"
+  "test_federation_unit"
+  "test_federation_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_federation_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

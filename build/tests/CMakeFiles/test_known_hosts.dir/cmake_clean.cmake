@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_known_hosts.dir/algorithm/test_known_hosts.cpp.o"
+  "CMakeFiles/test_known_hosts.dir/algorithm/test_known_hosts.cpp.o.d"
+  "test_known_hosts"
+  "test_known_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_known_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg.dir/message/test_msg.cpp.o"
+  "CMakeFiles/test_msg.dir/message/test_msg.cpp.o.d"
+  "test_msg"
+  "test_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

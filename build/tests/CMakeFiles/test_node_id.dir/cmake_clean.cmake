@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_id.dir/common/test_node_id.cpp.o"
+  "CMakeFiles/test_node_id.dir/common/test_node_id.cpp.o.d"
+  "test_node_id"
+  "test_node_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observer.dir/observer/test_observer.cpp.o"
+  "CMakeFiles/test_observer.dir/observer/test_observer.cpp.o.d"
+  "test_observer"
+  "test_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

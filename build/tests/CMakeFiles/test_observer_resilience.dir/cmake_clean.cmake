@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observer_resilience.dir/observer/test_observer_resilience.cpp.o"
+  "CMakeFiles/test_observer_resilience.dir/observer/test_observer_resilience.cpp.o.d"
+  "test_observer_resilience"
+  "test_observer_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observer_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

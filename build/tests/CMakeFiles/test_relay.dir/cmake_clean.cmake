@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay.dir/algorithm/test_relay.cpp.o"
+  "CMakeFiles/test_relay.dir/algorithm/test_relay.cpp.o.d"
+  "test_relay"
+  "test_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_graph.dir/federation/test_service_graph.cpp.o"
+  "CMakeFiles/test_service_graph.dir/federation/test_service_graph.cpp.o.d"
+  "test_service_graph"
+  "test_service_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_backpressure.dir/sim/test_sim_backpressure.cpp.o"
+  "CMakeFiles/test_sim_backpressure.dir/sim/test_sim_backpressure.cpp.o.d"
+  "test_sim_backpressure"
+  "test_sim_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

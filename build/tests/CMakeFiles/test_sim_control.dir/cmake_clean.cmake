@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_control.dir/sim/test_sim_control.cpp.o"
+  "CMakeFiles/test_sim_control.dir/sim/test_sim_control.cpp.o.d"
+  "test_sim_control"
+  "test_sim_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

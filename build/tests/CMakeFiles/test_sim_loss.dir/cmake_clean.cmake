@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_loss.dir/sim/test_sim_loss.cpp.o"
+  "CMakeFiles/test_sim_loss.dir/sim/test_sim_loss.cpp.o.d"
+  "test_sim_loss"
+  "test_sim_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

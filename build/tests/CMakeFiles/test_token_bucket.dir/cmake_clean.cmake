@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_bucket.dir/net/test_token_bucket.cpp.o"
+  "CMakeFiles/test_token_bucket.dir/net/test_token_bucket.cpp.o.d"
+  "test_token_bucket"
+  "test_token_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_local.dir/engine/test_trace_local.cpp.o"
+  "CMakeFiles/test_trace_local.dir/engine/test_trace_local.cpp.o.d"
+  "test_trace_local"
+  "test_trace_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

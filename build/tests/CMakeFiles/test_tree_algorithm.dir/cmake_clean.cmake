@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_algorithm.dir/trees/test_tree_algorithm.cpp.o"
+  "CMakeFiles/test_tree_algorithm.dir/trees/test_tree_algorithm.cpp.o.d"
+  "test_tree_algorithm"
+  "test_tree_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_failures.dir/trees/test_tree_failures.cpp.o"
+  "CMakeFiles/test_tree_failures.dir/trees/test_tree_failures.cpp.o.d"
+  "test_tree_failures"
+  "test_tree_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_real_engine.dir/trees/test_tree_real_engine.cpp.o"
+  "CMakeFiles/test_tree_real_engine.dir/trees/test_tree_real_engine.cpp.o.d"
+  "test_tree_real_engine"
+  "test_tree_real_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_real_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tree_real_engine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_unit.dir/trees/test_tree_unit.cpp.o"
+  "CMakeFiles/test_tree_unit.dir/trees/test_tree_unit.cpp.o.d"
+  "test_tree_unit"
+  "test_tree_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

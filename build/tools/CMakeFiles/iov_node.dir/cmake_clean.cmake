@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_node.dir/iov_node.cpp.o"
+  "CMakeFiles/iov_node.dir/iov_node.cpp.o.d"
+  "iov_node"
+  "iov_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

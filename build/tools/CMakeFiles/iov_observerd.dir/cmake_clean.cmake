@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iov_observerd.dir/iov_observerd.cpp.o"
+  "CMakeFiles/iov_observerd.dir/iov_observerd.cpp.o.d"
+  "iov_observerd"
+  "iov_observerd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iov_observerd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
