@@ -18,6 +18,7 @@
 #include "bench_util.h"
 #include "common/clock.h"
 #include "engine/engine.h"
+#include "obs/metric_names.h"
 
 namespace {
 
@@ -32,9 +33,21 @@ constexpr Duration kWarmup = millis(400);
 constexpr Duration kMeasure = millis(1200);
 
 struct ChainResult {
-  double end_to_end = 0.0;  // bytes/s
-  double total = 0.0;       // bytes/s across all links
+  double end_to_end = 0.0;     // bytes/s
+  double total = 0.0;          // bytes/s across all links
+  double switch_latency = 0.0;  // mean seconds a message sat in a recv buffer
 };
+
+/// Mean of the iov_switch_latency_seconds histogram of one engine's
+/// metric registry — the per-hop cost the figure's decay comes from.
+double mean_switch_latency(const engine::Engine& e) {
+  for (const auto& s : e.metrics().snapshot().samples) {
+    if (s.name == obs::names::kSwitchLatencySeconds && s.hist.count > 0) {
+      return s.hist.sum / static_cast<double>(s.hist.count);
+    }
+  }
+  return 0.0;
+}
 
 ChainResult run_chain(int n) {
   std::vector<std::unique_ptr<Engine>> engines;
@@ -73,10 +86,15 @@ ChainResult run_chain(int n) {
   const u64 bytes1 = sink->stats(t1).bytes;
 
   engines[0]->terminate_source(kApp);
+
+  ChainResult result;
+  // First relay-only node when n > 2 (the representative switch); the
+  // sink for n == 2 — the source node never receives and would read 0.
+  result.switch_latency = mean_switch_latency(*engines[n > 2 ? 1 : n - 1]);
+
   for (auto& engine : engines) engine->stop();
   for (auto& engine : engines) engine->join();
 
-  ChainResult result;
   result.end_to_end =
       static_cast<double>(bytes1 - bytes0) / to_seconds(t1 - t0);
   result.total = result.end_to_end * static_cast<double>(n - 1);
@@ -93,13 +111,15 @@ int main() {
       "~3.3%); throughput decays ~1/(n-1); 32-node end-to-end still "
       "exceeds typical wide-area rates");
 
-  print_row({"nodes", "end-to-end MB/s", "total MB/s", "vs 2-node e2e"});
+  print_row({"nodes", "end-to-end MB/s", "total MB/s", "vs 2-node e2e",
+             "switch lat us"});
   double two_node_e2e = 0.0;
   for (const int n : {2, 3, 4, 5, 6, 8, 12, 16, 32}) {
     const ChainResult r = run_chain(n);
     if (n == 2) two_node_e2e = r.end_to_end;
     print_row({strf("%d", n), mb(r.end_to_end), mb(r.total),
-               strf("%.1f%%", r.end_to_end / two_node_e2e * 100.0)});
+               strf("%.1f%%", r.end_to_end / two_node_e2e * 100.0),
+               strf("%.1f", r.switch_latency * 1e6)});
   }
   std::printf(
       "\nnote: absolute rates depend on host CPU. The reproduced shape is\n"

@@ -11,6 +11,7 @@
 #include "message/codec.h"
 #include "message/msg.h"
 #include "net/token_bucket.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace iov {
@@ -120,6 +121,59 @@ void BM_GaussianDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GaussianDecode)->Arg(2)->Arg(8)->Arg(32);
+
+// The observability layer rides every hot path (switch, link threads), so
+// its primitives must stay in the low-nanosecond range.
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("iov_bench_counter");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("iov_bench_histogram");
+  double x = 1e-6;
+  for (auto _ : state) {
+    h.observe(x);
+    x = x < 1.0 ? x * 1.5 : 1e-6;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_MetricsSnapshotSerialize(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    registry.counter("iov_bench_counter", {{"i", std::to_string(i)}}).inc(i);
+    registry.histogram("iov_bench_histogram", {{"i", std::to_string(i)}})
+        .observe(1e-3 * i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot().serialize());
+  }
+}
+BENCHMARK(BM_MetricsSnapshotSerialize);
+
+void BM_MetricsSnapshotParse(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    registry.counter("iov_bench_counter", {{"i", std::to_string(i)}}).inc(i);
+    registry.histogram("iov_bench_histogram", {{"i", std::to_string(i)}})
+        .observe(1e-3 * i);
+  }
+  const std::string wire = registry.snapshot().serialize();
+  for (auto _ : state) {
+    obs::MetricsSnapshot snap;
+    obs::MetricsSnapshot::parse(wire, &snap);
+    benchmark::DoNotOptimize(snap.samples.size());
+  }
+}
+BENCHMARK(BM_MetricsSnapshotParse);
 
 void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {

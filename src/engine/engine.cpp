@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metric_names.h"
 
 namespace iov::engine {
 
@@ -24,7 +25,15 @@ Engine::Engine(EngineConfig config, std::unique_ptr<Algorithm> algorithm)
       algorithm_(std::move(algorithm)),
       clock_(&RealClock::instance()),
       rng_(config_.seed),
-      bandwidth_(config_.bandwidth) {}
+      bandwidth_(config_.bandwidth),
+      switch_latency_(metrics_.histogram(obs::names::kSwitchLatencySeconds)),
+      switch_process_(metrics_.histogram(obs::names::kSwitchProcessSeconds)),
+      switch_msgs_(metrics_.counter(obs::names::kSwitchMessagesTotal)),
+      switch_rounds_(metrics_.counter(obs::names::kSwitchRoundsTotal)),
+      ctrl_msgs_(metrics_.counter(obs::names::kEngineControlMessagesTotal)),
+      timers_fired_(metrics_.counter(obs::names::kEngineTimersFiredTotal)),
+      reports_sent_(metrics_.counter(obs::names::kEngineReportsSentTotal)),
+      traces_sent_(metrics_.counter(obs::names::kEngineTracesTotal)) {}
 
 Engine::~Engine() {
   stop();
@@ -258,7 +267,7 @@ void Engine::adopt_persistent(const NodeId& peer, TcpConn conn) {
   }
   auto link = std::make_unique<PeerLink>(
       self_, peer, std::move(conn), config_.recv_buffer_msgs,
-      config_.send_buffer_msgs, bandwidth_, *clock_, *this);
+      config_.send_buffer_msgs, bandwidth_, *clock_, *this, metrics_);
   PeerLink* raw = link.get();
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -307,6 +316,7 @@ void Engine::deliver_to_algorithm(const MsgPtr& m) {
 }
 
 void Engine::dispatch(const MsgPtr& m) {
+  ctrl_msgs_.inc();
   switch (m->type()) {
     case MsgType::kPeerFailed:
     case MsgType::kSendFailed:
@@ -484,6 +494,7 @@ void Engine::fire_due_timers() {
   while (!timers_.empty() && timers_.top().due <= t) {
     const TimerEntry entry = timers_.top();
     timers_.pop();
+    timers_fired_.inc();
     deliver_to_algorithm(
         Msg::control(MsgType::kTimer, self_, kControlApp, entry.id));
   }
@@ -596,11 +607,14 @@ NodeReport Engine::build_report() const {
   }
   r.joined_apps.assign(joined_.begin(), joined_.end());
   r.algorithm_status = algorithm_->status();
+  r.version = NodeReport::kVersion;
+  r.metrics_wire = metrics_.snapshot().serialize();
   return r;
 }
 
 void Engine::send_report() {
   if (!observer_conn_ && !proxy_conn_) return;
+  reports_sent_.inc();
   const auto report = Msg::text_msg(MsgType::kReport, self_, kControlApp,
                                     build_report().serialize());
   if (proxy_conn_) {
@@ -614,6 +628,7 @@ void Engine::send_report() {
 }
 
 void Engine::trace(std::string_view text) {
+  traces_sent_.inc();
   if (!config_.local_trace_path.empty()) {
     // High-volume mode: log locally, collect later (§2.2).
     std::ofstream out(config_.local_trace_path, std::ios::app);
@@ -661,6 +676,7 @@ bool Engine::run_switch() {
   for (auto& [app, slot] : sources_) {
     progress |= pump_source_slot(app, slot);
   }
+  if (progress) switch_rounds_.inc();
   return progress;
 }
 
@@ -678,16 +694,23 @@ bool Engine::pump_link_slot(const NodeId& peer) {
     if (weight_it != switch_weight_.end()) weight = weight_it->second;
   }
   for (int w = 0; w < weight; ++w) {
-    auto m = link->recv_buffer().try_pop();
-    if (!m) break;
-    up_apps_[peer].insert((*m)->app());
+    auto in = link->recv_buffer().try_pop();
+    if (!in) break;
+    // Switch latency (paper Fig. 5): receiver-thread enqueue to switch
+    // dequeue, covering the time the message sat in the receive buffer.
+    const TimePoint t0 = clock_->now();
+    switch_latency_.observe(to_seconds(t0 - in->enqueued_at));
+    up_apps_[peer].insert(in->msg->app());
     current_outbox_ = &outbox;
-    deliver_to_algorithm(*m);
+    deliver_to_algorithm(in->msg);
     current_outbox_ = nullptr;
+    switch_process_.observe(to_seconds(clock_->now() - t0));
+    switch_msgs_.inc();
     progress = true;
     flush_outbox(outbox);
     if (!outbox.empty()) break;  // back-pressure: stop draining this slot
   }
+  link->update_queue_gauges();
   return progress;
 }
 

@@ -43,6 +43,7 @@
 #include "engine/peer_link.h"
 #include "engine/report.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace iov::engine {
 
@@ -125,6 +126,12 @@ class Engine final : public EngineApi, public InternalSink {
   };
   Snapshot snapshot() const;
 
+  /// This node's metric registry (docs/METRICS.md). Thread safe; tools
+  /// and benches read it via snapshot(), the engine ships it to the
+  /// observer inside v2 kReport payloads.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   // --- EngineApi (engine thread only) -----------------------------------------
 
   void send(const MsgPtr& m, const NodeId& dest) override;
@@ -188,6 +195,18 @@ class Engine final : public EngineApi, public InternalSink {
   const Clock* clock_;
   Rng rng_;
   BandwidthEmulator bandwidth_;
+
+  // Observability: registry first, then cached hot-path handles (reference
+  // members, so declaration order matters for the ctor init list).
+  obs::MetricsRegistry metrics_;
+  obs::Histogram& switch_latency_;   ///< recv-buffer enqueue -> switch pop
+  obs::Histogram& switch_process_;   ///< algorithm process + outbox flush
+  obs::Counter& switch_msgs_;
+  obs::Counter& switch_rounds_;
+  obs::Counter& ctrl_msgs_;
+  obs::Counter& timers_fired_;
+  obs::Counter& reports_sent_;
+  obs::Counter& traces_sent_;
 
   NodeId self_;
   TcpListener listener_;

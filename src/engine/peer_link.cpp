@@ -1,8 +1,15 @@
 #include "engine/peer_link.h"
 
 #include "common/logging.h"
+#include "obs/metric_names.h"
 
 namespace iov::engine {
+
+namespace {
+obs::Labels link_labels(const NodeId& peer, const char* dir) {
+  return {{"peer", peer.to_string()}, {"dir", dir}};
+}
+}  // namespace
 
 bool InterruptibleSleeper::sleep(Duration d) {
   if (d <= 0) return true;
@@ -22,7 +29,7 @@ void InterruptibleSleeper::interrupt() {
 PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
                    std::size_t recv_buf_msgs, std::size_t send_buf_msgs,
                    BandwidthEmulator& bandwidth, const Clock& clock,
-                   InternalSink& sink)
+                   InternalSink& sink, obs::MetricsRegistry& metrics)
     : self_(self),
       peer_(peer),
       conn_(std::move(conn)),
@@ -30,7 +37,32 @@ PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
       clock_(clock),
       sink_(sink),
       recv_buffer_(recv_buf_msgs),
-      send_buffer_(send_buf_msgs) {}
+      send_buffer_(send_buf_msgs),
+      up_bytes_(metrics.counter(obs::names::kLinkBytesTotal,
+                                link_labels(peer, "up"))),
+      up_msgs_(metrics.counter(obs::names::kLinkMessagesTotal,
+                               link_labels(peer, "up"))),
+      down_bytes_(metrics.counter(obs::names::kLinkBytesTotal,
+                                  link_labels(peer, "down"))),
+      down_msgs_(metrics.counter(obs::names::kLinkMessagesTotal,
+                                 link_labels(peer, "down"))),
+      down_lost_bytes_(metrics.counter(obs::names::kLinkLostBytesTotal,
+                                       link_labels(peer, "down"))),
+      down_lost_msgs_(metrics.counter(obs::names::kLinkLostMessagesTotal,
+                                      link_labels(peer, "down"))),
+      recv_depth_(metrics.gauge(obs::names::kLinkQueueDepth,
+                                link_labels(peer, "up"))),
+      send_depth_(metrics.gauge(obs::names::kLinkQueueDepth,
+                                link_labels(peer, "down"))),
+      recv_throttle_wait_(metrics.histogram(obs::names::kThrottleWaitSeconds,
+                                            link_labels(peer, "up"))),
+      send_throttle_wait_(metrics.histogram(obs::names::kThrottleWaitSeconds,
+                                            link_labels(peer, "down"))) {
+  metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "up"))
+      .set(static_cast<i64>(recv_buffer_.capacity()));
+  metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "down"))
+      .set(static_cast<i64>(send_buffer_.capacity()));
+}
 
 PeerLink::~PeerLink() {
   stop();
@@ -76,11 +108,16 @@ void PeerLink::receiver_main() {
     // "back pressure" of §2.4.
     const Duration wait =
         bandwidth_.acquire_recv(peer_, m->wire_size(), clock_.now());
+    if (wait > 0) recv_throttle_wait_.observe_duration(wait);
     if (!recv_sleeper_.sleep(wait)) return;
     up_meter_.record(m->wire_size(), clock_.now());
+    up_bytes_.inc(m->wire_size());
+    up_msgs_.inc();
 
     if (m->type() == MsgType::kData) {
-      if (!recv_buffer_.push(std::move(m))) return;  // closed: teardown
+      Inbound in{std::move(m), clock_.now()};
+      if (!recv_buffer_.push(std::move(in))) return;  // closed: teardown
+      recv_depth_.set(static_cast<i64>(recv_buffer_.size()));
       sink_.wake();
     } else {
       // Protocol/control traffic bypasses the data buffers so it cannot be
@@ -94,15 +131,21 @@ void PeerLink::sender_main() {
   while (true) {
     auto m = send_buffer_.pop();
     if (!m) return;  // closed and drained
+    send_depth_.set(static_cast<i64>(send_buffer_.size()));
     const Duration wait =
         bandwidth_.acquire_send(peer_, (*m)->wire_size(), clock_.now());
+    if (wait > 0) send_throttle_wait_.observe_duration(wait);
     if (!send_sleeper_.sleep(wait)) {
       // Interrupted mid-teardown: account the remaining queue as lost.
       down_meter_.record_loss((*m)->wire_size());
+      down_lost_bytes_.inc((*m)->wire_size());
+      down_lost_msgs_.inc();
       break;
     }
     if (!write_msg(conn_, **m)) {
       down_meter_.record_loss((*m)->wire_size());
+      down_lost_bytes_.inc((*m)->wire_size());
+      down_lost_msgs_.inc();
       if (!stopping_.load(std::memory_order_relaxed)) {
         failed_.store(true, std::memory_order_relaxed);
         sink_.post(Msg::control(MsgType::kSendFailed, peer_, kControlApp));
@@ -110,13 +153,22 @@ void PeerLink::sender_main() {
       break;
     }
     down_meter_.record((*m)->wire_size(), clock_.now());
+    down_bytes_.inc((*m)->wire_size());
+    down_msgs_.inc();
     sink_.wake();  // switch may have been waiting for sender-buffer space
   }
   // Drain whatever remains so engine-side pushes never wedge, and count it
   // as loss ("the number of bytes (or messages) lost due to failures").
   while (auto rest = send_buffer_.try_pop()) {
     down_meter_.record_loss((*rest)->wire_size());
+    down_lost_bytes_.inc((*rest)->wire_size());
+    down_lost_msgs_.inc();
   }
+}
+
+void PeerLink::update_queue_gauges() {
+  recv_depth_.set(static_cast<i64>(recv_buffer_.size()));
+  send_depth_.set(static_cast<i64>(send_buffer_.size()));
 }
 
 }  // namespace iov::engine

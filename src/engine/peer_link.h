@@ -33,8 +33,17 @@
 #include "net/framing.h"
 #include "net/socket.h"
 #include "net/throughput.h"
+#include "obs/metrics.h"
 
 namespace iov::engine {
+
+/// A data message waiting in a receive buffer, stamped with the time the
+/// receiver thread enqueued it so the switch can measure enqueue→dequeue
+/// latency (docs/METRICS.md: iov_switch_latency_seconds).
+struct Inbound {
+  MsgPtr msg;
+  TimePoint enqueued_at = 0;
+};
 
 /// Where link threads deposit messages for the engine thread.
 class InternalSink {
@@ -63,9 +72,11 @@ class InterruptibleSleeper {
 class PeerLink {
  public:
   /// Takes ownership of an established, hello-completed connection.
+  /// `metrics` must outlive the link (the engine owns both).
   PeerLink(NodeId self, NodeId peer, TcpConn conn, std::size_t recv_buf_msgs,
            std::size_t send_buf_msgs, BandwidthEmulator& bandwidth,
-           const Clock& clock, InternalSink& sink);
+           const Clock& clock, InternalSink& sink,
+           obs::MetricsRegistry& metrics);
   ~PeerLink();
 
   PeerLink(const PeerLink&) = delete;
@@ -86,12 +97,16 @@ class PeerLink {
 
   /// Receive buffer the engine's switch drains. Engine-thread consumers
   /// should use try_pop().
-  BoundedQueue<MsgPtr>& recv_buffer() { return recv_buffer_; }
-  const BoundedQueue<MsgPtr>& recv_buffer() const { return recv_buffer_; }
+  BoundedQueue<Inbound>& recv_buffer() { return recv_buffer_; }
+  const BoundedQueue<Inbound>& recv_buffer() const { return recv_buffer_; }
 
   /// Send buffer the switch fills (try_push from the engine thread).
   BoundedQueue<MsgPtr>& send_buffer() { return send_buffer_; }
   const BoundedQueue<MsgPtr>& send_buffer() const { return send_buffer_; }
+
+  /// Refreshes the queue-depth gauges; the engine calls this from the
+  /// switch so depth tracks the data plane without extra locking here.
+  void update_queue_gauges();
 
   const ThroughputMeter& up_meter() const { return up_meter_; }
   const ThroughputMeter& down_meter() const { return down_meter_; }
@@ -111,10 +126,23 @@ class PeerLink {
   const Clock& clock_;
   InternalSink& sink_;
 
-  BoundedQueue<MsgPtr> recv_buffer_;
+  BoundedQueue<Inbound> recv_buffer_;
   BoundedQueue<MsgPtr> send_buffer_;
   ThroughputMeter up_meter_;    // bytes received from peer
   ThroughputMeter down_meter_;  // bytes sent to peer
+
+  // Cached registry handles (lock-free atomics on the hot path); `dir` is
+  // "up" for peer→us traffic, "down" for us→peer (paper Fig. 4).
+  obs::Counter& up_bytes_;
+  obs::Counter& up_msgs_;
+  obs::Counter& down_bytes_;
+  obs::Counter& down_msgs_;
+  obs::Counter& down_lost_bytes_;
+  obs::Counter& down_lost_msgs_;
+  obs::Gauge& recv_depth_;
+  obs::Gauge& send_depth_;
+  obs::Histogram& recv_throttle_wait_;
+  obs::Histogram& send_throttle_wait_;
 
   InterruptibleSleeper recv_sleeper_;
   InterruptibleSleeper send_sleeper_;

@@ -72,6 +72,12 @@ std::string NodeReport::serialize() const {
   out += "src=" + serialize_apps(source_apps) + '\n';
   out += "joined=" + serialize_apps(joined_apps) + '\n';
   out += "alg=" + algorithm_status + '\n';
+  if (!metrics_wire.empty()) {
+    // v2 extension. Emitted last so v1-era tooling that truncates on the
+    // first unknown key still sees every v1 field.
+    out += strf("ver=%d\n", kVersion);
+    out += "metrics=" + metrics_wire + '\n';
+  }
   return out;
 }
 
@@ -102,7 +108,13 @@ std::optional<NodeReport> NodeReport::parse(std::string_view text) {
       if (!parse_apps(value, &r.joined_apps)) return std::nullopt;
     } else if (key == "alg") {
       r.algorithm_status = std::string(value);
+    } else if (key == "ver") {
+      unsigned long long v = 0;
+      if (parse_u64(value, 0xffffULL, &v)) r.version = static_cast<int>(v);
+    } else if (key == "metrics") {
+      r.metrics_wire = std::string(value);
     }
+    // Unknown keys are skipped: future versions may append more fields.
   }
   if (!saw_node) return std::nullopt;
   return r;

@@ -26,6 +26,13 @@ struct LinkReport {
 };
 
 struct NodeReport {
+  /// Current report format version. v1 is the original field set; v2 adds
+  /// the single-line `metrics=` snapshot (obs::MetricsSnapshot wire form).
+  /// Both directions stay compatible because parse() ignores unknown keys:
+  /// a v1 observer skips `ver=`/`metrics=`, and a v2 observer treats a
+  /// report without them as v1 (docs/PROTOCOLS.md, "kReport payload").
+  static constexpr int kVersion = 2;
+
   NodeId node;
   TimePoint uptime = 0;              ///< nanoseconds since engine start
   std::vector<LinkReport> upstreams;
@@ -33,6 +40,8 @@ struct NodeReport {
   std::vector<u32> source_apps;      ///< sessions this node sources
   std::vector<u32> joined_apps;      ///< sessions consumed locally
   std::string algorithm_status;      ///< Algorithm::status() line
+  int version = 1;                   ///< as parsed; kVersion when emitting v2
+  std::string metrics_wire;          ///< metrics snapshot; empty in v1
 
   std::string serialize() const;
   static std::optional<NodeReport> parse(std::string_view text);

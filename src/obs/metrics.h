@@ -1,0 +1,178 @@
+// Engine-wide observability layer: a lock-cheap registry of named
+// counters, gauges, and fixed-bucket latency histograms.
+//
+// Design:
+//  - Registration (`counter()` / `gauge()` / `histogram()`) takes a mutex
+//    and returns a stable reference. Hot paths cache that reference once
+//    and then touch only std::atomic members — no lock, no allocation.
+//  - Registries are per-component (one per Engine, one per Observer, one
+//    per SimNet), never process-global: tests and benches run several
+//    engines in one process and their metrics must not bleed together.
+//  - `snapshot()` produces a value-type `MetricsSnapshot` that knows how
+//    to render itself as Prometheus text, JSON, CSV, and a compact
+//    single-line wire form that rides inside the versioned `kReport`
+//    payload (see docs/PROTOCOLS.md and docs/METRICS.md).
+//
+// Wire form (one line, so it can live in a `metrics=` report field):
+//   record ::= kind ':' name [ '{' k '=' v (';' k '=' v)* '}' ] ',' payload
+//   counter payload  ::= u64
+//   gauge payload    ::= i64
+//   histogram payload::= bound ':' count ('/' bound ':' count)* ',' n ',' sum
+//                        (last bound is the literal "inf")
+//   snapshot ::= record ('|' record)*
+// Unknown record kinds are skipped on parse (forward compatibility).
+// Reserved characters , ; = { } | and newline are replaced with '_' in
+// names and label values at registration time.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace iov::obs {
+
+/// Key/value metric labels, kept sorted by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// A value that can go up and down (queue depth, capacity).
+class Gauge {
+ public:
+  void set(i64 v) { v_.store(v, std::memory_order_relaxed); }
+  void add(i64 d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(i64 d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+/// Fixed-bucket histogram; bucket `i` counts observations <= bounds[i],
+/// plus one implicit +inf bucket. Thread-safe, wait-free observe().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+  /// Convenience for the common case of recording a latency in seconds.
+  void observe_duration(Duration d) { observe(to_seconds(d)); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last is +inf).
+  std::vector<u64> bucket_counts() const;
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<u64>[]> buckets_;
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bounds from 1us to ~16s — the default for latency
+/// histograms (switch latency, throttle waits, report round-trips).
+const std::vector<double>& default_latency_bounds();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one histogram's state.
+struct HistogramData {
+  std::vector<double> bounds;  ///< ascending upper bounds (no +inf)
+  std::vector<u64> counts;     ///< bounds.size() + 1, last is +inf
+  u64 count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of one metric.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Labels labels;
+  double value = 0.0;  ///< counter / gauge value
+  HistogramData hist;  ///< populated for kHistogram only
+};
+
+/// A value-type snapshot of a registry (or a merge of several).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  bool empty() const { return samples.empty(); }
+
+  /// Adds `key`=`value` to every sample that does not already carry that
+  /// label key; the observer uses this to tag per-node snapshots.
+  void add_label(const std::string& key, const std::string& value);
+
+  /// Appends all samples of `other`.
+  void merge(const MetricsSnapshot& other);
+
+  /// Compact single-line wire form (see header comment).
+  std::string serialize() const;
+
+  /// Parses the wire form. Unknown record kinds are skipped; returns
+  /// false only on structural corruption. `*out` is cleared first.
+  static bool parse(std::string_view line, MetricsSnapshot* out);
+
+  /// Prometheus text exposition format. `# TYPE` lines are emitted once
+  /// per metric name even when samples from several nodes are merged.
+  std::string to_prometheus() const;
+
+  /// JSON array of sample objects.
+  std::string to_json() const;
+
+  /// CSV with header `name,kind,labels,value,count,sum,buckets`.
+  std::string to_csv() const;
+};
+
+/// Named metric registry. Registration is mutex-guarded; returned
+/// references are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  /// `bounds` is consulted only on first registration of (name, labels).
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       const std::vector<double>& bounds =
+                           default_latency_bounds());
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, Labels labels,
+                        MetricKind kind, const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+};
+
+}  // namespace iov::obs

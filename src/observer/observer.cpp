@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metric_names.h"
 
 namespace iov::observer {
 
@@ -17,7 +18,15 @@ constexpr Duration kHelloTimeout = seconds(1.0);
 }  // namespace
 
 Observer::Observer(ObserverConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {}
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      boots_seen_(metrics_.counter(obs::names::kObserverBootsTotal)),
+      reports_seen_(metrics_.counter(obs::names::kObserverReportsTotal)),
+      malformed_reports_(
+          metrics_.counter(obs::names::kObserverMalformedReportsTotal)),
+      traces_seen_(metrics_.counter(obs::names::kObserverTracesTotal)),
+      report_rtt_(
+          metrics_.histogram(obs::names::kObserverReportRttSeconds)) {}
 
 Observer::~Observer() {
   stop();
@@ -98,6 +107,7 @@ void Observer::handle_msg(Conn& c, const MsgPtr& m) {
   const TimePoint t = RealClock::instance().now();
   switch (m->type()) {
     case MsgType::kBoot: {
+      boots_seen_.inc();
       std::string subset;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -129,17 +139,39 @@ void Observer::handle_msg(Conn& c, const MsgPtr& m) {
     }
 
     case MsgType::kReport: {
+      reports_seen_.inc();
       auto report = engine::NodeReport::parse(m->text());
+      if (!report) malformed_reports_.inc();
+
+      // A v2 report carries a single-line metrics snapshot; a v1 report
+      // (or a v2 line that fails to parse) leaves last_metrics untouched.
+      std::optional<obs::MetricsSnapshot> snap;
+      if (report && !report->metrics_wire.empty()) {
+        obs::MetricsSnapshot parsed;
+        if (obs::MetricsSnapshot::parse(report->metrics_wire, &parsed)) {
+          snap = std::move(parsed);
+        } else {
+          malformed_reports_.inc();
+        }
+      }
+
       std::lock_guard<std::mutex> lock(mu_);
       auto& info = nodes_[m->origin()];
       info.id = m->origin();
       info.alive = true;
       info.last_seen = t;
       if (report) info.last_report = std::move(*report);
+      if (snap) info.last_metrics = std::move(*snap);
+      const auto pending = pending_requests_.find(m->origin());
+      if (pending != pending_requests_.end()) {
+        report_rtt_.observe_duration(t - pending->second);
+        pending_requests_.erase(pending);
+      }
       return;
     }
 
     case MsgType::kTrace: {
+      traces_seen_.inc();
       TraceRecord record{t, m->origin(), std::string(m->text())};
       std::lock_guard<std::mutex> lock(mu_);
       if (!config_.trace_path.empty()) {
@@ -209,6 +241,29 @@ std::string Observer::topology_dot() const {
   }
   out += "}\n";
   return out;
+}
+
+obs::MetricsSnapshot Observer::metrics_snapshot() const {
+  obs::MetricsSnapshot own = metrics_.snapshot();
+  own.add_label("node", "observer");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, info] : nodes_) {
+    if (!info.last_metrics) continue;
+    obs::MetricsSnapshot node_snap = *info.last_metrics;
+    node_snap.add_label("node", id.to_string());
+    own.merge(node_snap);
+  }
+  return own;
+}
+
+bool Observer::request_report(const NodeId& node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Keep the earliest outstanding request so overlapping requests do
+    // not shrink the measured round-trip.
+    pending_requests_.try_emplace(node, RealClock::instance().now());
+  }
+  return send_control(node, MsgType::kRequest);
 }
 
 bool Observer::send_control(const NodeId& node, MsgType type, i32 p0, i32 p1,

@@ -36,6 +36,7 @@
 #include "engine/report.h"
 #include "net/framing.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace iov::observer {
 
@@ -80,6 +81,8 @@ class Observer {
     TimePoint booted_at = 0;
     TimePoint last_seen = 0;
     std::optional<engine::NodeReport> last_report;
+    /// Parsed from the v2 `metrics=` report line; absent for v1 nodes.
+    std::optional<obs::MetricsSnapshot> last_metrics;
   };
 
   std::vector<NodeInfo> nodes() const;
@@ -93,6 +96,24 @@ class Observer {
   /// nodes (each node's downstream list becomes directed edges) — the
   /// headless stand-in for the paper's live topology map (Fig. 2/10).
   std::string topology_dot() const;
+
+  // --- Metrics aggregation (thread safe, docs/METRICS.md) ----------------------
+
+  /// Merge of every node's latest metrics snapshot (each sample labeled
+  /// `node=<id>`) plus the observer's own registry (`node=observer`).
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Prometheus text exposition of metrics_snapshot().
+  std::string prometheus_text() const { return metrics_snapshot().to_prometheus(); }
+
+  /// JSON array dump of metrics_snapshot().
+  std::string metrics_json() const { return metrics_snapshot().to_json(); }
+
+  /// CSV dump of metrics_snapshot().
+  std::string metrics_csv() const { return metrics_snapshot().to_csv(); }
+
+  /// The observer's own registry (report/trace/boot counts, report RTT).
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   // --- Control panel (thread safe) ---------------------------------------------
 
@@ -139,10 +160,9 @@ class Observer {
                         source.to_string());
   }
 
-  /// Requests an immediate status report from `node`.
-  bool request_report(const NodeId& node) {
-    return send_control(node, MsgType::kRequest);
-  }
+  /// Requests an immediate status report from `node`; the next kReport
+  /// from it closes the round-trip for iov_observer_report_rtt_seconds.
+  bool request_report(const NodeId& node);
 
  private:
   struct Conn {
@@ -160,10 +180,20 @@ class Observer {
   NodeId self_;
   TcpListener listener_;
 
+  // Observability: registry first, cached handles after (reference
+  // members — declaration order fixes ctor init order).
+  obs::MetricsRegistry metrics_;
+  obs::Counter& boots_seen_;
+  obs::Counter& reports_seen_;
+  obs::Counter& malformed_reports_;
+  obs::Counter& traces_seen_;
+  obs::Histogram& report_rtt_;
+
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::map<NodeId, NodeInfo> nodes_;
   std::vector<TraceRecord> traces_;
+  std::map<NodeId, TimePoint> pending_requests_;  ///< kRequest sent, no reply
 
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "engine/engine.h"  // BandwidthScope constants
+#include "obs/metric_names.h"
 
 namespace iov::sim {
 
@@ -315,6 +316,13 @@ std::size_t SimEngine::pump_upstream(const NodeId& peer) {
 
   MsgPtr m = l->recv_buf.front();
   l->recv_buf.pop_front();
+  if (!l->recv_enq.empty()) {
+    // Sim-time analogue of the real switch latency: virtual-time delta
+    // between recv-buffer enqueue and this switch pop.
+    net_.sim_switch_latency_.observe(to_seconds(now() - l->recv_enq.front()));
+    l->recv_enq.pop_front();
+  }
+  net_.sim_switch_msgs_.inc();
   net_.on_recv_space(self_, peer);
   up_apps_[peer].insert(m->app());
   const std::size_t size = m->wire_size();
@@ -477,7 +485,20 @@ void SimEngine::propagate_broken_source(u32 app, const NodeId& origin) {
 
 SimNet::SimNet() : SimNet(Config{}) {}
 
-SimNet::SimNet(Config config) : config_(config), rng_(config.seed) {}
+SimNet::SimNet(Config config)
+    : config_(config),
+      rng_(config.seed),
+      sim_switch_latency_(
+          metrics_.histogram(obs::names::kSimSwitchLatencySeconds)),
+      sim_switch_msgs_(metrics_.counter(obs::names::kSimSwitchMessagesTotal)),
+      sim_delivered_bytes_(
+          metrics_.counter(obs::names::kSimDeliveredBytesTotal)),
+      sim_delivered_msgs_(
+          metrics_.counter(obs::names::kSimDeliveredMessagesTotal)),
+      sim_send_wait_(metrics_.histogram(obs::names::kSimThrottleWaitSeconds,
+                                        {{"dir", "send"}})),
+      sim_recv_wait_(metrics_.histogram(obs::names::kSimThrottleWaitSeconds,
+                                        {{"dir", "recv"}})) {}
 
 SimNet::~SimNet() = default;
 
@@ -555,6 +576,7 @@ SimLink& SimNet::link(const NodeId& src, const NodeId& dst,
         dst_node ? dst_node->config_.recv_buffer_msgs : src_cfg.recv_buffer_msgs;
     slot->send_buf.clear();
     slot->recv_buf.clear();
+    slot->recv_enq.clear();
     slot->stalled = nullptr;
     slot->busy = false;
     slot->closed = false;
@@ -587,6 +609,7 @@ void SimNet::pump_link(SimLink& l) {
 
   const std::size_t size = m->wire_size();
   const Duration pace = src->bandwidth_.acquire_send(l.dst, size, now());
+  if (pace > 0) sim_send_wait_.observe_duration(pace);
   const Duration tx = static_cast<Duration>(
       static_cast<double>(size) / config_.default_link_rate *
       static_cast<double>(kNanosPerSec));
@@ -617,6 +640,7 @@ void SimNet::arrive(SimLink& l, MsgPtr m) {
   }
   const Duration pace = dst->bandwidth_.acquire_recv(l.src, m->wire_size(),
                                                      now());
+  if (pace > 0) sim_recv_wait_.observe_duration(pace);
   if (pace > 0) {
     events_.schedule_in(pace, [this, &l, m] { try_deliver(l, m); });
   } else {
@@ -640,9 +664,12 @@ void SimNet::try_deliver(SimLink& l, MsgPtr m) {
     return;
   }
   l.rx_meter.record(m->wire_size(), now());
+  sim_delivered_bytes_.inc(m->wire_size());
+  sim_delivered_msgs_.inc();
   accounting_.record(l.src, l.dst, *m);
   if (m->type() == MsgType::kData) {
     l.recv_buf.push_back(std::move(m));
+    l.recv_enq.push_back(now());
     dst->schedule_pump();
   } else {
     // Control traffic bypasses the data buffers (receiver threads post it
@@ -678,6 +705,7 @@ void SimNet::close_links_of(const NodeId& id, const NodeId& only_peer) {
     }
     l->send_buf.clear();
     l->recv_buf.clear();
+    l->recv_enq.clear();
     l->stalled = nullptr;
     const NodeId peer = key.first == id ? key.second : key.first;
     failed_peers.push_back(peer);

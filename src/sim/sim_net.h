@@ -33,6 +33,7 @@
 #include "common/node_id.h"
 #include "common/rng.h"
 #include "net/throughput.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace iov::sim {
@@ -135,6 +136,7 @@ struct SimLink {
   std::deque<MsgPtr> send_buf;     // sender-thread queue (bounded)
   std::size_t send_cap = 10;
   std::deque<MsgPtr> recv_buf;     // receiver-thread queue at dst (bounded)
+  std::deque<TimePoint> recv_enq;  // sim-time enqueue stamp per recv_buf entry
   std::size_t recv_cap = 10;
   bool busy = false;               // a message is serializing / in flight
   MsgPtr stalled;                  // arrived but dst receive buffer was full
@@ -233,6 +235,12 @@ class SimNet {
 
   const MsgAccounting& accounting() const { return accounting_; }
 
+  /// Sim-time metric registry shared by all simulated nodes: switch
+  /// latency and message counts, delivered traffic, throttle waits
+  /// (docs/METRICS.md, `iov_sim_*`).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   struct TraceRecord {
     TimePoint at;
     NodeId node;
@@ -261,6 +269,16 @@ class SimNet {
   Config config_;
   EventQueue events_;
   Rng rng_;
+
+  // Sim-time observability (registry first; the refs are cached handles).
+  obs::MetricsRegistry metrics_;
+  obs::Histogram& sim_switch_latency_;
+  obs::Counter& sim_switch_msgs_;
+  obs::Counter& sim_delivered_bytes_;
+  obs::Counter& sim_delivered_msgs_;
+  obs::Histogram& sim_send_wait_;
+  obs::Histogram& sim_recv_wait_;
+
   u32 next_host_ = 1;
   std::map<NodeId, std::unique_ptr<SimEngine>> nodes_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<SimLink>> links_;

@@ -70,5 +70,41 @@ TEST(NodeReport, ParseToleratesBlankLines) {
   EXPECT_EQ(parsed->uptime, 7);
 }
 
+TEST(NodeReport, V2MetricsRoundTrip) {
+  NodeReport r = sample_report();
+  r.version = NodeReport::kVersion;
+  r.metrics_wire = "c:iov_switch_messages_total,42|g:iov_link_queue_depth,3";
+  const auto parsed = NodeReport::parse(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, NodeReport::kVersion);
+  EXPECT_EQ(parsed->metrics_wire, r.metrics_wire);
+}
+
+TEST(NodeReport, V1ReportParsesWithDefaults) {
+  // A report from an old node: no ver=, no metrics= lines.
+  const auto parsed = NodeReport::parse("node=1.2.3.4:5\nuptime=7\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 1);
+  EXPECT_TRUE(parsed->metrics_wire.empty());
+}
+
+TEST(NodeReport, EmptyMetricsOmittedFromWire) {
+  // A snapshot-less report serializes exactly like v1 so old observers
+  // see nothing new.
+  NodeReport r;
+  r.node = NodeId::loopback(1);
+  const std::string text = r.serialize();
+  EXPECT_EQ(text.find("ver="), std::string::npos);
+  EXPECT_EQ(text.find("metrics="), std::string::npos);
+}
+
+TEST(NodeReport, ParseSkipsUnknownKeys) {
+  // Future versions may append lines; today's parser must ignore them.
+  const auto parsed = NodeReport::parse(
+      "node=1.2.3.4:5\nuptime=7\nfuture_key=whatever\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->uptime, 7);
+}
+
 }  // namespace
 }  // namespace iov::engine

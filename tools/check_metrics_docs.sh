@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Docs-consistency check: every metric name registered in
+# src/obs/metric_names.h must be documented as a table row in
+# docs/METRICS.md, and every metric the docs table documents must exist
+# in the header. Run from anywhere:
+#
+#   tools/check_metrics_docs.sh [repo_root]
+#
+# Wired up as the `check_metrics_docs` ctest.
+set -euo pipefail
+
+ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+HEADER="$ROOT/src/obs/metric_names.h"
+DOC="$ROOT/docs/METRICS.md"
+
+fail=0
+for f in "$HEADER" "$DOC"; do
+  if [ ! -f "$f" ]; then
+    echo "check_metrics_docs: missing $f" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+# Names in code: every quoted "iov_..." string constant in the header.
+code_names=$(grep -o '"iov_[a-z0-9_]*"' "$HEADER" | tr -d '"' | sort -u)
+
+# Names in docs: table rows whose first cell is the backticked name
+# (`| \`iov_...\` | ...`). Prose mentions don't count — a metric is only
+# "documented" once it has its reference-table row.
+doc_names=$(grep -o '^| `iov_[a-z0-9_]*`' "$DOC" | grep -o 'iov_[a-z0-9_]*' \
+            | sort -u)
+
+undocumented=$(comm -23 <(echo "$code_names") <(echo "$doc_names"))
+phantom=$(comm -13 <(echo "$code_names") <(echo "$doc_names"))
+
+if [ -n "$undocumented" ]; then
+  echo "check_metrics_docs: registered in $HEADER but missing a table row" \
+       "in $DOC:" >&2
+  echo "$undocumented" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [ -n "$phantom" ]; then
+  echo "check_metrics_docs: documented in $DOC but not registered in" \
+       "$HEADER:" >&2
+  echo "$phantom" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  count=$(echo "$code_names" | wc -l)
+  echo "check_metrics_docs: OK ($count metrics, docs and code agree)"
+fi
+exit "$fail"

@@ -21,6 +21,8 @@
 //   --socket-buffers B    cap kernel socket buffers (back-pressure demos)
 //   --trace-file PATH     log kTrace locally (collect_traces.sh)
 //   --seed S              deterministic per-node random stream
+//   --metrics             print this node's metric registry (Prometheus
+//                         text, docs/METRICS.md) on exit
 //   --verbose             info-level logging
 #include <csignal>
 #include <cstdio>
@@ -52,7 +54,7 @@ void handle_signal(int) { g_stop = 1; }
                "[--bw-up BPS] [--bw-down BPS] [--bw-total BPS] [--buffers N] "
                "[--source APP:BYTES[:BPS]] [--sink APP] [--socket-buffers B] "
                "[--trace-file PATH] "
-               "[--seed S] [--verbose]\n",
+               "[--seed S] [--metrics] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
   };
   std::vector<SourceSpec> source_specs;
   std::vector<u32> sink_apps;
+  bool dump_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +117,8 @@ int main(int argc, char** argv) {
       source_specs.push_back(spec);
     } else if (arg == "--sink") {
       sink_apps.push_back(static_cast<u32>(std::atoi(next())));
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
     } else if (arg == "--verbose") {
       Logger::instance().set_level(LogLevel::kInfo);
     } else {
@@ -170,6 +175,9 @@ int main(int argc, char** argv) {
   while (node.running() && !g_stop) sleep_for(millis(100));
   node.stop();
   node.join();
+  if (dump_metrics) {
+    std::fputs(node.metrics().snapshot().to_prometheus().c_str(), stdout);
+  }
   std::printf("iov_node %s down\n", node.self().to_string().c_str());
   return 0;
 }

@@ -8,6 +8,12 @@
 //   list                         alive nodes and their last report
 //   dot                          Graphviz dump of the overlay topology
 //   traces [N]                   last N trace records (default 10)
+//   metrics                      Prometheus text export of all node +
+//                                observer metrics (docs/METRICS.md)
+//   metrics-json                 the same aggregate as a JSON array
+//   metrics-csv                  the same aggregate as CSV
+//   report <node>                request an immediate report (feeds the
+//                                report round-trip histogram)
 //   deploy <node> <app>          deploy an application source
 //   stop-source <node> <app>     terminate an application source
 //   join <node> <app> [hint]     ask a node to join a session
@@ -112,7 +118,8 @@ int main(int argc, char** argv) {
       break;
     } else if (cmd == "help") {
       std::printf(
-          "list | dot | traces [N] | deploy <node> <app> | stop-source "
+          "list | dot | traces [N] | metrics | metrics-json | metrics-csv | "
+          "report <node> | deploy <node> <app> | stop-source "
           "<node> <app> | join <node> <app> [hint] | leave <node> <app> | "
           "bw <node> total|up|down|link-up|link-down <bps> [peer] | "
           "control <node> <p0> <p1> [text] | kill <node> | quit\n");
@@ -120,6 +127,15 @@ int main(int argc, char** argv) {
       cmd_list(obs);
     } else if (cmd == "dot") {
       std::printf("%s", obs.topology_dot().c_str());
+    } else if (cmd == "metrics") {
+      std::printf("%s", obs.prometheus_text().c_str());
+    } else if (cmd == "metrics-json") {
+      std::printf("%s", obs.metrics_json().c_str());
+    } else if (cmd == "metrics-csv") {
+      std::printf("%s", obs.metrics_csv().c_str());
+    } else if (cmd == "report") {
+      const auto id = node_arg();
+      if (id) report(obs.request_report(*id));
     } else if (cmd == "traces") {
       std::size_t n = 10;
       in >> n;

@@ -58,6 +58,13 @@ CTL "deploy 127.0.0.1:$((BASE_PORT + 1)) $APP"
 sleep 3
 CTL "list"
 CTL "dot"
+# Pull a fresh report (and metrics snapshot) from every node, then print
+# the aggregate Prometheus view (docs/METRICS.md).
+for i in $(seq 1 "$NODES"); do
+  CTL "report 127.0.0.1:$((BASE_PORT + i))"
+done
+sleep 1
+CTL "metrics"
 sleep 1
 CTL "quit"
 sleep 0.5
