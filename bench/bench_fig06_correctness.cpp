@@ -16,7 +16,11 @@
 //      link except EF/EG to ~15, DE/EF/EG to ~30;
 //  (c) B terminated by the observer: its links close, CD converges to 30,
 //      the rest are undisturbed;
-//  (d) G terminated: F still receives via C, D and E.
+//  (d) G terminated: F still receives via C, D and E;
+//  (e) churn: a chaos FaultPlan injects loss on CD and throttles DE
+//      through the observer control plane (DESIGN.md §7) — the surviving
+//      path keeps flowing and the faults-injected counter records the
+//      plan.
 #include <map>
 #include <memory>
 #include <vector>
@@ -25,8 +29,12 @@
 #include "apps/sink.h"
 #include "apps/source.h"
 #include "bench_util.h"
+#include "chaos/fault_plan.h"
+#include "chaos/real_driver.h"
+#include "chaos/verify.h"
 #include "common/clock.h"
 #include "engine/engine.h"
+#include "obs/metric_names.h"
 #include "observer/observer.h"
 
 namespace {
@@ -177,6 +185,24 @@ int main() {
   run_phase(nodes, kDrain);
   std::printf("F still receives via C, D, E: %s KB/s\n",
               kb(sink_f->stats(RealClock::instance().now()).rate_bps).c_str());
+
+  std::printf("\n(e) churn: chaos plan (loss on CD, slow-link on DE)\n");
+  chaos::FaultPlan plan;
+  plan.loss(seconds(0.5), "C", "D", 0.15)
+      .slow_link(seconds(1.0), "D", "E", 20e3);
+  chaos::Binding binding;
+  for (const char c : {'C', 'D', 'E'}) {
+    binding.emplace(std::string(1, c), nodes.at(c).engine->self());
+  }
+  chaos::RealChaosDriver driver(obs, plan, binding);
+  driver.run();
+  std::printf("%s", driver.trace_text().c_str());
+  run_phase(nodes, kDrain);
+  std::printf(
+      "F under churn: %s KB/s; faults injected: %.0f\n",
+      kb(sink_f->stats(RealClock::instance().now()).rate_bps).c_str(),
+      chaos::counter_value(obs.metrics().snapshot(),
+                           obs::names::kChaosFaultsInjectedTotal));
 
   for (auto& [name, node] : nodes) node.engine->stop();
   for (auto& [name, node] : nodes) node.engine->join();

@@ -1,0 +1,318 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace iov::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillNode: return "kill";
+    case FaultKind::kSeverLink: return "sever";
+    case FaultKind::kSetLoss: return "loss";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kSlowLink: return "slow-link";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Seconds with enough digits to round-trip the sub-millisecond event
+/// times the sim schedules at, without trailing-zero noise for the
+/// common "at 2.5" cases.
+std::string format_seconds(Duration d) {
+  std::string s = strf("%.6f", to_seconds(d));
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.push_back('0');
+  return s;
+}
+
+std::string format_value(double v) {
+  std::string s = strf("%.6f", v);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.push_back('0');
+  return s;
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  std::string line = "at " + format_seconds(at);
+  line += ' ';
+  line += fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kKillNode:
+      line += ' ' + a;
+      break;
+    case FaultKind::kSeverLink:
+      line += ' ' + a + ' ' + b;
+      break;
+    case FaultKind::kSetLoss:
+    case FaultKind::kSlowLink:
+      line += ' ' + a + ' ' + b + ' ' + format_value(value);
+      break;
+    case FaultKind::kPartition: {
+      line += ' ';
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g > 0) line += '|';
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+          if (i > 0) line += ',';
+          line += groups[g][i];
+        }
+      }
+      break;
+    }
+    case FaultKind::kHeal:
+      break;
+  }
+  return line;
+}
+
+void FaultPlan::add(FaultEvent e) {
+  // Stable insert: events fire in time order, ties keep insertion order.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), e.at,
+      [](Duration at, const FaultEvent& other) { return at < other.at; });
+  events_.insert(pos, std::move(e));
+}
+
+FaultPlan& FaultPlan::kill(Duration at, std::string node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kKillNode;
+  e.a = std::move(node);
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::sever(Duration at, std::string a, std::string b) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSeverLink;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss(Duration at, std::string a, std::string b,
+                           double probability) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSetLoss;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  e.value = std::clamp(probability, 0.0, 1.0);
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_link(Duration at, std::string a, std::string b,
+                                double bytes_per_sec) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSlowLink;
+  e.a = std::move(a);
+  e.b = std::move(b);
+  e.value = std::max(bytes_per_sec, 0.0);
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Duration at,
+                                std::vector<std::vector<std::string>> groups) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kPartition;
+  e.groups = std::move(groups);
+  add(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(Duration at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kHeal;
+  add(std::move(e));
+  return *this;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_double(std::string_view s, double* out) {
+  const std::string text(s);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultPlan::ParseResult FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    ParseResult r;
+    r.error = strf("line %zu: ", line_no) + what;
+    return r;
+  };
+
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::istringstream in{std::string(line)};
+    std::string word;
+    in >> word;
+    if (word != "at") return fail("expected 'at <seconds> ...'");
+    std::string when;
+    in >> when;
+    double at_s = 0.0;
+    if (!parse_double(when, &at_s) || at_s < 0.0) {
+      return fail("bad time '" + when + "'");
+    }
+    const Duration at = seconds(at_s);
+
+    std::string verb;
+    in >> verb;
+    if (verb == "kill") {
+      std::string node;
+      in >> node;
+      if (node.empty()) return fail("kill needs a node name");
+      plan.kill(at, node);
+    } else if (verb == "sever") {
+      std::string a, b;
+      in >> a >> b;
+      if (a.empty() || b.empty()) return fail("sever needs two node names");
+      plan.sever(at, a, b);
+    } else if (verb == "loss") {
+      std::string a, b, p;
+      in >> a >> b >> p;
+      double prob = 0.0;
+      if (a.empty() || b.empty() || !parse_double(p, &prob)) {
+        return fail("loss needs '<a> <b> <probability>'");
+      }
+      if (prob < 0.0 || prob > 1.0) {
+        return fail("loss probability must be in [0, 1]");
+      }
+      plan.loss(at, a, b, prob);
+    } else if (verb == "slow-link") {
+      std::string a, b, r;
+      in >> a >> b >> r;
+      double bps = 0.0;
+      if (a.empty() || b.empty() || !parse_double(r, &bps) || bps < 0.0) {
+        return fail("slow-link needs '<a> <b> <bytes_per_sec>'");
+      }
+      plan.slow_link(at, a, b, bps);
+    } else if (verb == "partition") {
+      std::string rest;
+      std::getline(in, rest);
+      std::vector<std::vector<std::string>> groups;
+      for (const std::string& group_text : split(trim(rest), '|')) {
+        std::vector<std::string> group;
+        for (const std::string& name : split(group_text, ',')) {
+          const std::string_view trimmed = trim(name);
+          if (!trimmed.empty()) group.emplace_back(trimmed);
+        }
+        if (!group.empty()) groups.push_back(std::move(group));
+      }
+      if (groups.size() < 2) {
+        return fail("partition needs at least two '|'-separated groups");
+      }
+      plan.partition(at, std::move(groups));
+    } else if (verb == "heal") {
+      plan.heal(at);
+    } else {
+      return fail("unknown fault '" + verb + "'");
+    }
+  }
+
+  ParseResult r;
+  r.plan = std::move(plan);
+  return r;
+}
+
+FaultPlan FaultPlan::random(u64 seed, const std::vector<std::string>& nodes,
+                            Duration horizon, std::size_t count) {
+  FaultPlan plan;
+  if (nodes.empty() || horizon <= 0) return plan;
+  Rng rng(seed);
+
+  // Event times strictly inside the horizon, sorted so the plan reads
+  // naturally; same-seed runs regenerate the identical sequence.
+  std::vector<Duration> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times.push_back(static_cast<Duration>(
+        rng.uniform01() * 0.9 * static_cast<double>(horizon)));
+  }
+  std::sort(times.begin(), times.end());
+
+  const auto pick = [&]() -> const std::string& {
+    return nodes[rng.below(nodes.size())];
+  };
+  const auto pick_pair = [&](std::string* a, std::string* b) {
+    *a = pick();
+    do {
+      *b = pick();
+    } while (*b == *a && nodes.size() > 1);
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const u64 roll = rng.below(100);
+    std::string a, b;
+    if (roll < 20 && nodes.size() > 2) {
+      // Killing too many nodes leaves nothing to assert on; keep kills a
+      // minority and never kill the first node (by convention the source).
+      plan.kill(times[i], nodes[1 + rng.below(nodes.size() - 1)]);
+    } else if (roll < 50) {
+      pick_pair(&a, &b);
+      plan.sever(times[i], a, b);
+    } else if (roll < 70) {
+      pick_pair(&a, &b);
+      plan.loss(times[i], a, b, 0.05 + 0.4 * rng.uniform01());
+    } else if (roll < 80 && nodes.size() >= 3) {
+      // Random two-way partition, never isolating the first node alone.
+      std::vector<std::string> left{nodes[0]};
+      std::vector<std::string> right;
+      for (std::size_t n = 1; n < nodes.size(); ++n) {
+        (rng.chance(0.5) ? left : right).push_back(nodes[n]);
+      }
+      if (right.empty()) right.push_back(left.back()), left.pop_back();
+      plan.partition(times[i], {std::move(left), std::move(right)});
+    } else {
+      plan.heal(times[i]);
+    }
+  }
+
+  // Drain to a recoverable state: lift any partition and reset loss on
+  // every ordered pair so post-plan invariants (tree reconnects, flows
+  // resume) can hold.
+  plan.heal(horizon);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (i != j) plan.loss(horizon, nodes[i], nodes[j], 0.0);
+    }
+  }
+  return plan;
+}
+
+}  // namespace iov::chaos

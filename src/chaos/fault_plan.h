@@ -1,0 +1,107 @@
+// FaultPlan — a deterministic, ordered, seeded schedule of fault events
+// (DESIGN.md §7). iOverlay's robustness story (§2.2: failure detection,
+// Domino teardown, disjoint flows undisturbed) is only testable if faults
+// can be *scheduled*: the same plan must be replayable on the simulator
+// (exact virtual times, byte-identical traces) and on live loopback
+// deployments (observer control plane), so a plan speaks in abstract node
+// names that a Binding maps to concrete NodeIds at execution time.
+//
+// The text DSL, one event per line ('#' starts a comment):
+//
+//   at <seconds> kill <node>
+//   at <seconds> sever <a> <b>
+//   at <seconds> loss <a> <b> <probability>
+//   at <seconds> slow-link <a> <b> <bytes_per_sec>
+//   at <seconds> partition <n1,n2|n3,...>
+//   at <seconds> heal
+//
+// Times are relative to the moment a driver starts executing the plan.
+// parse() and to_string() round-trip; FaultPlan::random() derives a plan
+// from a seed (identical seeds yield identical plans and, through the
+// deterministic simulator, identical fault traces).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/node_id.h"
+#include "common/types.h"
+
+namespace iov::chaos {
+
+enum class FaultKind {
+  kKillNode,
+  kSeverLink,
+  kSetLoss,
+  kPartition,
+  kHeal,
+  kSlowLink,
+};
+
+/// Short name used in the DSL, traces and the `kind` metric label.
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  Duration at = 0;
+  FaultKind kind = FaultKind::kHeal;
+  std::string a;       ///< first node name (kill/sever/loss/slow-link)
+  std::string b;       ///< second node name (sever/loss/slow-link)
+  double value = 0.0;  ///< loss probability / slow-link bytes per second
+  std::vector<std::vector<std::string>> groups;  ///< partition only
+
+  /// The event as one DSL line (no trailing newline).
+  std::string to_string() const;
+};
+
+/// Maps the plan's abstract node names to concrete NodeIds. Names missing
+/// from the binding are tried as literal "ip:port" strings, so plans may
+/// also name nodes directly.
+using Binding = std::map<std::string, NodeId, std::less<>>;
+
+class FaultPlan {
+ public:
+  // --- Programmatic builder (chainable; events are kept time-sorted) ------
+  FaultPlan& kill(Duration at, std::string node);
+  FaultPlan& sever(Duration at, std::string a, std::string b);
+  FaultPlan& loss(Duration at, std::string a, std::string b,
+                  double probability);
+  FaultPlan& slow_link(Duration at, std::string a, std::string b,
+                       double bytes_per_sec);
+  FaultPlan& partition(Duration at,
+                       std::vector<std::vector<std::string>> groups);
+  FaultPlan& heal(Duration at);
+
+  /// Events sorted by time; same-time events keep insertion order.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// The whole plan in DSL form; parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  struct ParseResult;
+  static ParseResult parse(std::string_view text);
+
+  /// Seeded random plan over `nodes` within `[0, horizon)`; identical
+  /// seeds produce identical plans. Every partition/sever/loss burst is
+  /// followed by a final heal + loss reset at `horizon` so recovery
+  /// properties can be asserted after the plan drains.
+  static FaultPlan random(u64 seed, const std::vector<std::string>& nodes,
+                          Duration horizon, std::size_t count);
+
+ private:
+  void add(FaultEvent e);
+
+  std::vector<FaultEvent> events_;
+};
+
+struct FaultPlan::ParseResult {
+  std::optional<FaultPlan> plan;
+  std::string error;  ///< "line N: what went wrong" when !plan
+};
+
+}  // namespace iov::chaos

@@ -1,0 +1,54 @@
+// RealChaosDriver — executes a FaultPlan against live engines through the
+// observer control plane (the same wire commands `iov_observerd` exposes
+// as `kill` / `sever` / `loss` console verbs).
+//
+// Event times are wall-clock offsets from run()'s start. Kills go through
+// kTerminateNode, severs through kSeverLink (the target runs
+// Engine::handle_link_failure non-deliberately, its peer perceives the
+// TCP EOF), loss through kSetLoss, slow-link through kSetBandwidth.
+// Partitions are emulated by severing every cross-group link; heal is a
+// no-op because real engines re-dial on demand once traffic flows.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "observer/observer.h"
+
+namespace iov::chaos {
+
+class RealChaosDriver {
+ public:
+  RealChaosDriver(observer::Observer& observer, FaultPlan plan,
+                  Binding binding);
+
+  /// Executes the whole plan, sleeping between events; blocks until the
+  /// last event has been issued.
+  void run();
+
+  /// Polls `recovered()` every `poll` until it holds or `timeout` passes;
+  /// on success observes the time since the last issued fault in
+  /// iov_chaos_recovery_latency_seconds (observer registry).
+  bool await_recovery(const std::function<bool()>& recovered, Duration poll,
+                      Duration timeout);
+
+  /// One line per issued event with resolved ids and the control-plane
+  /// outcome ("ok" / "failed").
+  const std::vector<std::string>& trace() const { return trace_; }
+  std::string trace_text() const;
+
+ private:
+  void apply(const FaultEvent& e);
+  NodeId resolve(const std::string& name) const;
+
+  observer::Observer& observer_;
+  FaultPlan plan_;
+  Binding binding_;
+  TimePoint last_fault_ = 0;
+  std::vector<std::string> trace_;
+  obs::Histogram& recovery_latency_;
+};
+
+}  // namespace iov::chaos

@@ -1,0 +1,113 @@
+#include "chaos/sim_driver.h"
+
+#include "common/strings.h"
+#include "engine/engine.h"  // BandwidthScope constants
+#include "obs/metric_names.h"
+
+namespace iov::chaos {
+
+SimChaosDriver::SimChaosDriver(sim::SimNet& net, FaultPlan plan,
+                               Binding binding)
+    : net_(net),
+      plan_(std::move(plan)),
+      binding_(std::move(binding)),
+      base_(net.now()),
+      last_fault_(net.now()),
+      recovery_latency_(net.metrics().histogram(
+          obs::names::kChaosRecoveryLatencySeconds)) {}
+
+NodeId SimChaosDriver::resolve(const std::string& name) const {
+  const auto it = binding_.find(name);
+  if (it != binding_.end()) return it->second;
+  // Plans may also name nodes by their literal "ip:port" id.
+  const auto parsed = NodeId::parse(name);
+  return parsed ? *parsed : NodeId();
+}
+
+void SimChaosDriver::run_until(TimePoint t) {
+  const auto& events = plan_.events();
+  while (next_ < events.size() && base_ + events[next_].at <= t) {
+    const FaultEvent& e = events[next_];
+    net_.run_until(base_ + e.at);
+    apply(e);
+    ++next_;
+  }
+  net_.run_until(t);
+}
+
+bool SimChaosDriver::await_recovery(const std::function<bool()>& recovered,
+                                    Duration step, TimePoint deadline) {
+  while (!recovered()) {
+    if (net_.now() >= deadline) return false;
+    run_until(std::min(net_.now() + step, deadline));
+  }
+  recovery_latency_.observe(to_seconds(net_.now() - last_fault_));
+  return true;
+}
+
+void SimChaosDriver::apply(const FaultEvent& e) {
+  net_.metrics()
+      .counter(obs::names::kChaosFaultsInjectedTotal,
+               {{"kind", fault_kind_name(e.kind)}})
+      .inc();
+  last_fault_ = net_.now();
+
+  std::string line =
+      strf("[%12.6f] %s", to_seconds(net_.now()), fault_kind_name(e.kind));
+  const auto name_of = [&](const std::string& n) {
+    return n + " (" + resolve(n).to_string() + ")";
+  };
+
+  switch (e.kind) {
+    case FaultKind::kKillNode:
+      line += ' ' + name_of(e.a);
+      net_.kill_node(resolve(e.a));
+      break;
+    case FaultKind::kSeverLink:
+      line += ' ' + name_of(e.a) + ' ' + name_of(e.b);
+      net_.sever_link(resolve(e.a), resolve(e.b));
+      break;
+    case FaultKind::kSetLoss:
+      line += ' ' + name_of(e.a) + ' ' + name_of(e.b) +
+              strf(" p=%.6f", e.value);
+      net_.set_loss(resolve(e.a), resolve(e.b), e.value);
+      break;
+    case FaultKind::kSlowLink:
+      line += ' ' + name_of(e.a) + ' ' + name_of(e.b) +
+              strf(" bps=%.0f", e.value);
+      net_.post(resolve(e.a),
+                Msg::control(MsgType::kSetBandwidth, NodeId(), kControlApp,
+                             engine::kBwLinkUp, static_cast<i32>(e.value),
+                             resolve(e.b).to_string()));
+      break;
+    case FaultKind::kPartition: {
+      std::vector<std::vector<NodeId>> groups;
+      for (std::size_t g = 0; g < e.groups.size(); ++g) {
+        if (g > 0) line += " |";
+        std::vector<NodeId> ids;
+        for (const std::string& n : e.groups[g]) {
+          line += ' ' + name_of(n);
+          ids.push_back(resolve(n));
+        }
+        groups.push_back(std::move(ids));
+      }
+      net_.partition(groups);
+      break;
+    }
+    case FaultKind::kHeal:
+      net_.heal();
+      break;
+  }
+  trace_.push_back(std::move(line));
+}
+
+std::string SimChaosDriver::trace_text() const {
+  std::string out;
+  for (const std::string& line : trace_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iov::chaos

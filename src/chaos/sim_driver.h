@@ -1,0 +1,60 @@
+// SimChaosDriver — executes a FaultPlan on the deterministic simulator.
+//
+// The driver owns the clock discipline: run_until() advances the SimNet
+// to each due event's *exact* virtual time before applying it through
+// SimNet's fault hooks (kill_node / sever_link / set_loss / partition /
+// heal / kSetBandwidth). Because the simulator is seeded and single-
+// threaded, replaying the same plan against the same topology yields a
+// byte-identical fault trace and identical post-fault state — the
+// determinism the chaos test tier asserts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "obs/metrics.h"
+#include "sim/sim_net.h"
+
+namespace iov::chaos {
+
+class SimChaosDriver {
+ public:
+  /// Event times in `plan` are relative to the sim time at construction.
+  SimChaosDriver(sim::SimNet& net, FaultPlan plan, Binding binding);
+
+  /// Advances the net to `t`, applying every event due on the way at its
+  /// exact sim time.
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(net_.now() + d); }
+
+  /// True once every event has been applied.
+  bool done() const { return next_ >= plan_.events().size(); }
+
+  /// Steps the net in `step` increments until `recovered()` holds or
+  /// `deadline` passes; on success observes the time since the last
+  /// applied fault in iov_chaos_recovery_latency_seconds.
+  bool await_recovery(const std::function<bool()>& recovered, Duration step,
+                      TimePoint deadline);
+
+  /// One line per applied event, stamped with the sim time and the
+  /// resolved node ids — the deterministic fault trace.
+  const std::vector<std::string>& trace() const { return trace_; }
+  std::string trace_text() const;
+
+ private:
+  void apply(const FaultEvent& e);
+  NodeId resolve(const std::string& name) const;
+
+  sim::SimNet& net_;
+  FaultPlan plan_;
+  Binding binding_;
+  std::size_t next_ = 0;
+  TimePoint base_;
+  TimePoint last_fault_ = 0;
+  std::vector<std::string> trace_;
+  obs::Histogram& recovery_latency_;
+};
+
+}  // namespace iov::chaos

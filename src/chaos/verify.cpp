@@ -1,0 +1,134 @@
+#include "chaos/verify.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "obs/metric_names.h"
+
+namespace iov::chaos {
+
+std::string VerifyResult::to_string() const {
+  if (ok) return "ok";
+  std::string out;
+  for (const std::string& f : failures) {
+    if (!out.empty()) out += "; ";
+    out += f;
+  }
+  return out;
+}
+
+double counter_value(const obs::MetricsSnapshot& snapshot,
+                     std::string_view name, const obs::Labels& labels) {
+  double sum = 0.0;
+  for (const obs::MetricSample& s : snapshot.samples) {
+    if (s.name != name) continue;
+    const bool match = std::all_of(
+        labels.begin(), labels.end(), [&](const auto& want) {
+          return std::find(s.labels.begin(), s.labels.end(), want) !=
+                 s.labels.end();
+        });
+    if (match) sum += s.value;
+  }
+  return sum;
+}
+
+std::string surviving_sessions(const sim::SimNet& net) {
+  // Sessions known anywhere in the overlay (sets keep output canonical).
+  std::set<u32> apps;
+  for (const NodeId& id : net.node_ids()) {
+    const sim::SimEngine* n = net.node(id);
+    if (n == nullptr) continue;
+    for (const auto& [peer, peer_apps] : n->up_apps()) {
+      apps.insert(peer_apps.begin(), peer_apps.end());
+    }
+    for (const auto& [peer, peer_apps] : n->down_apps()) {
+      apps.insert(peer_apps.begin(), peer_apps.end());
+    }
+    apps.insert(n->joined_apps().begin(), n->joined_apps().end());
+  }
+
+  std::string out;
+  for (const NodeId& id : net.node_ids()) {
+    const sim::SimEngine* n = net.node(id);
+    if (n == nullptr || !n->alive()) continue;
+    for (const u32 app : apps) {
+      if (n->is_source(app)) {
+        out += strf("%s %u source\n", id.to_string().c_str(), app);
+        continue;
+      }
+      bool receiving = false;
+      for (const auto& [peer, peer_apps] : n->up_apps()) {
+        if (peer_apps.count(app) > 0) {
+          receiving = true;
+          break;
+        }
+      }
+      if (receiving) {
+        out += strf("%s %u recv\n", id.to_string().c_str(), app);
+      }
+    }
+  }
+  return out;
+}
+
+VerifyResult verify_domino_teardown(const sim::SimNet& net) {
+  VerifyResult r;
+  for (const NodeId& id : net.node_ids()) {
+    const sim::SimEngine* n = net.node(id);
+    if (n == nullptr || !n->alive()) continue;
+    for (const auto& [peer, peer_apps] : n->up_apps()) {
+      const sim::SimEngine* up = net.node(peer);
+      if (up == nullptr || !up->alive()) {
+        r.fail(strf("%s still lists dead upstream %s",
+                    id.to_string().c_str(), peer.to_string().c_str()));
+        continue;
+      }
+      if (!net.link_open(peer, id)) {
+        r.fail(strf("%s still lists upstream %s over a closed link",
+                    id.to_string().c_str(), peer.to_string().c_str()));
+      }
+    }
+  }
+  return r;
+}
+
+VerifyResult verify_session_teardown(sim::SimNet& net, u32 app,
+                                     const std::vector<NodeId>& nodes) {
+  VerifyResult r;
+  for (const NodeId& id : nodes) {
+    const sim::SimEngine* n = net.node(id);
+    if (n == nullptr || !n->alive()) continue;  // dead: trivially torn down
+    if (n->is_source(app)) {
+      r.fail(strf("%s still sources app %u", id.to_string().c_str(), app));
+    }
+    for (const auto& [peer, peer_apps] : n->up_apps()) {
+      if (peer_apps.count(app) > 0) {
+        r.fail(strf("%s still fed app %u by %s", id.to_string().c_str(), app,
+                    peer.to_string().c_str()));
+      }
+    }
+  }
+  if (r.ok) {
+    net.metrics()
+        .counter(obs::names::kChaosSessionsTornDownTotal)
+        .inc(nodes.size());
+  }
+  return r;
+}
+
+VerifyResult verify_flow_conservation(const sim::SimNet& net, const NodeId& a,
+                                      const NodeId& b) {
+  VerifyResult r;
+  const u64 sent = net.link_sent_bytes(a, b);
+  const u64 delivered = net.link_delivered_bytes(a, b);
+  if (delivered > sent) {
+    r.fail(strf("link %s->%s delivered %llu bytes but only %llu were sent",
+                a.to_string().c_str(), b.to_string().c_str(),
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(sent)));
+  }
+  return r;
+}
+
+}  // namespace iov::chaos

@@ -1,0 +1,65 @@
+// chaos::verify — recovery-verification helpers for the fault-injection
+// test tier (DESIGN.md §7). These turn the robustness claims of paper
+// §2.2 into assertable predicates:
+//
+//   * Domino teardown completeness — after a fault settles, no alive
+//     node still counts a dead or unreachable peer as an upstream;
+//   * session teardown — the sessions a fault was supposed to kill are
+//     gone everywhere (and the chaos teardown counter records them);
+//   * disjoint-flow non-disturbance and flow conservation — read off the
+//     PR-1 metrics snapshots and the sim link meters;
+//   * surviving-session sets — a canonical string over (node, app,
+//     role), so two replays can be compared byte-for-byte.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/sim_net.h"
+
+namespace iov::chaos {
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> failures;
+
+  explicit operator bool() const { return ok; }
+  void fail(std::string what) {
+    ok = false;
+    failures.push_back(std::move(what));
+  }
+  std::string to_string() const;
+};
+
+/// Sum of all counter/gauge samples named `name` whose labels contain
+/// every pair in `labels` (subset match). 0 when absent.
+double counter_value(const obs::MetricsSnapshot& snapshot,
+                     std::string_view name, const obs::Labels& labels = {});
+
+/// Canonical surviving-session set of a simulated overlay: one line
+/// "node app role" per live (node, session) pair — role `source` for an
+/// active deployed source, `recv` for a session still fed by some
+/// upstream — sorted, '\n'-joined. Byte-identical across same-seed
+/// replays; the key artifact for determinism assertions.
+std::string surviving_sessions(const sim::SimNet& net);
+
+/// Domino teardown completeness: every alive node's upstream bookkeeping
+/// must point at alive peers with open links. A dangling upstream means a
+/// failure notice was lost and the Domino stopped halfway.
+VerifyResult verify_domino_teardown(const sim::SimNet& net);
+
+/// Asserts session `app` is fully torn down on each of `nodes` (not a
+/// source, no upstream feeding it). On success increments
+/// iov_chaos_sessions_torn_down_total (sim registry) once per node.
+VerifyResult verify_session_teardown(sim::SimNet& net, u32 app,
+                                     const std::vector<NodeId>& nodes);
+
+/// Flow conservation on the directed sim link a->b: bytes delivered plus
+/// bytes recorded lost never exceed bytes sent (the difference is at most
+/// the in-flight window).
+VerifyResult verify_flow_conservation(const sim::SimNet& net, const NodeId& a,
+                                      const NodeId& b);
+
+}  // namespace iov::chaos

@@ -33,7 +33,9 @@ Engine::Engine(EngineConfig config, std::unique_ptr<Algorithm> algorithm)
       ctrl_msgs_(metrics_.counter(obs::names::kEngineControlMessagesTotal)),
       timers_fired_(metrics_.counter(obs::names::kEngineTimersFiredTotal)),
       reports_sent_(metrics_.counter(obs::names::kEngineReportsSentTotal)),
-      traces_sent_(metrics_.counter(obs::names::kEngineTracesTotal)) {}
+      traces_sent_(metrics_.counter(obs::names::kEngineTracesTotal)),
+      link_closes_(metrics_.counter(obs::names::kEngineLinkClosesTotal)),
+      link_failures_(metrics_.counter(obs::names::kEngineLinkFailuresTotal)) {}
 
 Engine::~Engine() {
   stop();
@@ -331,6 +333,24 @@ void Engine::dispatch(const MsgPtr& m) {
       apply_set_bandwidth(m);
       return;
 
+    case MsgType::kSeverLink: {
+      // Fault injection: drop the link as if it had failed. Our side runs
+      // the non-deliberate path (the algorithm sees kBrokenLink); the
+      // peer perceives the TCP EOF and does the same.
+      const auto peer = NodeId::parse(trim(m->param_text()));
+      if (peer) handle_link_failure(*peer, /*deliberate=*/false);
+      return;
+    }
+
+    case MsgType::kSetLoss: {
+      const auto peer = NodeId::parse(trim(m->param_text()));
+      if (!peer) return;
+      if (PeerLink* link = find_link(*peer)) {
+        link->set_send_loss(static_cast<double>(m->param(0)) / 1e6);
+      }
+      return;
+    }
+
     case MsgType::kRequest:
       send_report();
       deliver_to_algorithm(m);  // Table 2 also shows algorithms reacting
@@ -391,6 +411,7 @@ void Engine::dispatch(const MsgPtr& m) {
 
 void Engine::handle_link_failure(const NodeId& peer, bool deliberate) {
   if (find_link(peer) == nullptr) return;  // already torn down
+  (deliberate ? link_closes_ : link_failures_).inc();
   remove_link(peer);
 
   // Purge queued work involving the dead peer.

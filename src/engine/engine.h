@@ -207,6 +207,8 @@ class Engine final : public EngineApi, public InternalSink {
   obs::Counter& timers_fired_;
   obs::Counter& reports_sent_;
   obs::Counter& traces_sent_;
+  obs::Counter& link_closes_;    ///< deliberate teardowns (close_link/sever)
+  obs::Counter& link_failures_;  ///< crash detections (EOF, error, timeout)
 
   NodeId self_;
   TcpListener listener_;

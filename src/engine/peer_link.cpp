@@ -57,7 +57,9 @@ PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
       recv_throttle_wait_(metrics.histogram(obs::names::kThrottleWaitSeconds,
                                             link_labels(peer, "up"))),
       send_throttle_wait_(metrics.histogram(obs::names::kThrottleWaitSeconds,
-                                            link_labels(peer, "down"))) {
+                                            link_labels(peer, "down"))),
+      loss_rng_((static_cast<u64>(self.ip()) << 32) ^
+                (static_cast<u64>(peer.ip()) << 16) ^ peer.port()) {
   metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "up"))
       .set(static_cast<i64>(recv_buffer_.capacity()));
   metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "down"))
@@ -132,6 +134,16 @@ void PeerLink::sender_main() {
     auto m = send_buffer_.pop();
     if (!m) return;  // closed and drained
     send_depth_.set(static_cast<i64>(send_buffer_.size()));
+    const u32 loss_ppm = send_loss_ppm_.load(std::memory_order_relaxed);
+    if (loss_ppm > 0 && loss_rng_.below(1000000) < loss_ppm) {
+      // Injected wire loss (kSetLoss): the message vanishes before
+      // pacing, accounted like any other sender-side drop.
+      down_meter_.record_loss((*m)->wire_size());
+      down_lost_bytes_.inc((*m)->wire_size());
+      down_lost_msgs_.inc();
+      sink_.wake();
+      continue;
+    }
     const Duration wait =
         bandwidth_.acquire_send(peer_, (*m)->wire_size(), clock_.now());
     if (wait > 0) send_throttle_wait_.observe_duration(wait);
@@ -164,6 +176,13 @@ void PeerLink::sender_main() {
     down_lost_bytes_.inc((*rest)->wire_size());
     down_lost_msgs_.inc();
   }
+}
+
+void PeerLink::set_send_loss(double probability) {
+  if (probability < 0.0) probability = 0.0;
+  if (probability > 1.0) probability = 1.0;
+  send_loss_ppm_.store(static_cast<u32>(probability * 1e6),
+                       std::memory_order_relaxed);
 }
 
 void PeerLink::update_queue_gauges() {

@@ -28,6 +28,7 @@
 #include "common/bounded_queue.h"
 #include "common/clock.h"
 #include "common/node_id.h"
+#include "common/rng.h"
 #include "message/msg.h"
 #include "net/bandwidth.h"
 #include "net/framing.h"
@@ -115,6 +116,11 @@ class PeerLink {
   /// True once either thread has observed a fatal socket error.
   bool failed() const { return failed_.load(std::memory_order_relaxed); }
 
+  /// Emulated sender-side message loss (kSetLoss fault injection): each
+  /// queued message is dropped with this probability before hitting the
+  /// wire, accounted in the down-direction loss meters. Thread safe.
+  void set_send_loss(double probability);
+
  private:
   void receiver_main();
   void sender_main();
@@ -146,6 +152,10 @@ class PeerLink {
 
   InterruptibleSleeper recv_sleeper_;
   InterruptibleSleeper send_sleeper_;
+
+  // Injected loss, parts per million; the rng is sender-thread-only.
+  std::atomic<u32> send_loss_ppm_{0};
+  Rng loss_rng_;
 
   std::thread receiver_;
   std::thread sender_;

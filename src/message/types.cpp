@@ -19,6 +19,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kSetBandwidth: return "setBandwidth";
     case MsgType::kControl: return "control";
     case MsgType::kSAnnounce: return "sAnnounce";
+    case MsgType::kSeverLink: return "severLink";
+    case MsgType::kSetLoss: return "setLoss";
     case MsgType::kBrokenSource: return "BrokenSource";
     case MsgType::kBrokenLink: return "BrokenLink";
     case MsgType::kUpThroughput: return "UpThroughput";

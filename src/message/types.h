@@ -57,6 +57,14 @@ enum class MsgType : u32 {
   kControl = 0x010b,
   /// Observer -> node: announce the data source of a session (`sAnnounce`).
   kSAnnounce = 0x010c,
+  /// Observer -> node: tear down the link to the peer named in the text
+  /// argument as if it had failed (fault injection; the peer perceives
+  /// the TCP EOF and runs the same non-deliberate failure path).
+  kSeverLink = 0x010d,
+  /// Observer -> node: set the emulated message-loss probability towards
+  /// the peer named in the text argument; param0 carries the probability
+  /// in parts per million (fault injection).
+  kSetLoss = 0x010e,
 
   // --- Engine -> algorithm notifications -----------------------------------
   /// The application source at the origin of this message has failed; clear

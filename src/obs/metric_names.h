@@ -22,6 +22,10 @@ inline constexpr char kEngineTimersFiredTotal[] =
 inline constexpr char kEngineReportsSentTotal[] =
     "iov_engine_reports_sent_total";
 inline constexpr char kEngineTracesTotal[] = "iov_engine_traces_total";
+inline constexpr char kEngineLinkClosesTotal[] =
+    "iov_engine_link_closes_total";
+inline constexpr char kEngineLinkFailuresTotal[] =
+    "iov_engine_link_failures_total";
 
 // --- Per-link data plane (labels: peer, dir=up|down) ----------------------
 inline constexpr char kLinkBytesTotal[] = "iov_link_bytes_total";
@@ -53,5 +57,13 @@ inline constexpr char kObserverMalformedReportsTotal[] =
 inline constexpr char kObserverTracesTotal[] = "iov_observer_traces_total";
 inline constexpr char kObserverReportRttSeconds[] =
     "iov_observer_report_rtt_seconds";
+
+// --- Chaos / fault injection (registry of the executing driver) -----------
+inline constexpr char kChaosFaultsInjectedTotal[] =
+    "iov_chaos_faults_injected_total";
+inline constexpr char kChaosSessionsTornDownTotal[] =
+    "iov_chaos_sessions_torn_down_total";
+inline constexpr char kChaosRecoveryLatencySeconds[] =
+    "iov_chaos_recovery_latency_seconds";
 
 }  // namespace iov::obs::names

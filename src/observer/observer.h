@@ -147,6 +147,22 @@ class Observer {
     return send_control(node, MsgType::kTerminateNode);
   }
 
+  /// Fault injection: tears down the node↔peer link as if it had failed;
+  /// both ends run the non-deliberate failure path (kBrokenLink, Domino).
+  bool sever_link(const NodeId& node, const NodeId& peer) {
+    return send_control(node, MsgType::kSeverLink, 0, 0, peer.to_string());
+  }
+
+  /// Fault injection: sets the emulated message-loss probability on
+  /// `node`'s sender side towards `peer` (0 disables).
+  bool set_loss(const NodeId& node, const NodeId& peer, double probability) {
+    if (probability < 0.0) probability = 0.0;
+    if (probability > 1.0) probability = 1.0;
+    return send_control(node, MsgType::kSetLoss,
+                        static_cast<i32>(probability * 1e6), 0,
+                        peer.to_string());
+  }
+
   /// Runtime bandwidth emulation control; `scope` is a
   /// engine::BandwidthScope, rate in bytes/second, `peer` only for the
   /// link scopes.

@@ -135,6 +135,30 @@ void SimEngine::dispatch(const MsgPtr& m) {
       }
     }
 
+    case MsgType::kSeverLink: {
+      // Fault injection, mirroring the real engine: our side fails the
+      // link non-deliberately; the peer notices its EOF shortly after.
+      const auto parsed = NodeId::parse(trim(m->param_text()));
+      if (!parsed) return;
+      const NodeId peer = *parsed;
+      handle_link_failure(peer, /*deliberate=*/false);
+      net_.events_.schedule_in(kFailureNoticeDelay, [this, peer] {
+        if (SimEngine* other = net_.node(peer)) {
+          other->handle_link_failure(self_, /*deliberate=*/false);
+        }
+      });
+      return;
+    }
+
+    case MsgType::kSetLoss: {
+      const auto peer = NodeId::parse(trim(m->param_text()));
+      if (peer) {
+        net_.set_loss(self_, *peer,
+                      static_cast<double>(m->param(0)) / 1e6);
+      }
+      return;
+    }
+
     case MsgType::kSDeploy: {
       const u32 app = static_cast<u32>(m->param(0));
       const auto it = sources_.find(app);
@@ -566,6 +590,12 @@ SimLink& SimNet::link(const NodeId& src, const NodeId& dst,
     const SimEngine* dst_node = node(dst);
     slot->recv_cap =
         dst_node ? dst_node->config_.recv_buffer_msgs : src_cfg.recv_buffer_msgs;
+    // A partition cut blocks the pair: the link exists but stays dead, so
+    // senders hit the closed-link path (kBrokenLink) instead of talking
+    // across the cut.
+    if (blocked(src, dst)) slot->closed = true;
+  } else if (slot->closed && blocked(src, dst)) {
+    // Re-dial across an active partition: stays dead until heal().
   } else if (slot->closed) {
     // Re-dial after a failure: reset state *in place* — in-flight events
     // hold references to this SimLink, so the object must never move.
@@ -777,16 +807,83 @@ void SimNet::kill_node(const NodeId& id) {
   });
 }
 
+bool SimNet::blocked(const NodeId& a, const NodeId& b) const {
+  return blocked_.count({a, b}) > 0;
+}
+
+void SimNet::sever_link(const NodeId& a, const NodeId& b) {
+  events_.schedule_in(0, [this, a, b] {
+    if (SimEngine* n = node(a); n != nullptr && n->alive_) {
+      n->handle_link_failure(b, /*deliberate=*/false);
+    }
+    if (SimEngine* n = node(b); n != nullptr && n->alive_) {
+      n->handle_link_failure(a, /*deliberate=*/false);
+    }
+  });
+}
+
+void SimNet::partition(const std::vector<std::vector<NodeId>>& groups) {
+  events_.schedule_in(0, [this, groups] {
+    std::map<NodeId, std::size_t> group_of;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const NodeId& id : groups[g]) group_of[id] = g;
+    }
+    blocked_.clear();
+    for (const auto& [a, ga] : group_of) {
+      for (const auto& [b, gb] : group_of) {
+        if (ga != gb) blocked_.insert({a, b});
+      }
+    }
+    // Existing links across the cut fail like severed ones. Collect the
+    // pairs first: handle_link_failure mutates links_.
+    std::set<std::pair<NodeId, NodeId>> cut;
+    for (const auto& [key, l] : links_) {
+      if (!l->closed && blocked(key.first, key.second)) {
+        cut.insert(std::minmax(key.first, key.second));
+      }
+    }
+    for (const auto& [a, b] : cut) {
+      if (SimEngine* n = node(a); n != nullptr && n->alive_) {
+        n->handle_link_failure(b, /*deliberate=*/false);
+      }
+      if (SimEngine* n = node(b); n != nullptr && n->alive_) {
+        n->handle_link_failure(a, /*deliberate=*/false);
+      }
+    }
+  });
+}
+
+void SimNet::heal() {
+  events_.schedule_in(0, [this] { blocked_.clear(); });
+}
+
 double SimNet::link_rate(const NodeId& a, const NodeId& b) const {
   const auto it = links_.find({a, b});
   if (it == links_.end()) return 0.0;
   return it->second->rx_meter.rate(now());
 }
 
+bool SimNet::link_open(const NodeId& a, const NodeId& b) const {
+  const auto it = links_.find({a, b});
+  return it != links_.end() && !it->second->closed;
+}
+
 u64 SimNet::link_delivered_bytes(const NodeId& a, const NodeId& b) const {
   const auto it = links_.find({a, b});
   if (it == links_.end()) return 0;
   return it->second->rx_meter.total_bytes();
+}
+
+u64 SimNet::link_sent_bytes(const NodeId& a, const NodeId& b) const {
+  const auto it = links_.find({a, b});
+  if (it == links_.end()) return 0;
+  return it->second->tx_meter.total_bytes();
+}
+
+u64 SimNet::link_lost_bytes(const NodeId& a, const NodeId& b) const {
+  const auto it = links_.find({a, b});
+  if (it == links_.end()) return 0;
+  return it->second->rx_meter.lost_bytes() + it->second->tx_meter.lost_bytes();
 }
 
 void SimNet::record_trace(const NodeId& node_id, std::string_view text) {

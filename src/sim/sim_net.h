@@ -78,6 +78,14 @@ class SimEngine final : public EngineApi {
   void register_app(u32 app, std::shared_ptr<Application> application);
   bool alive() const { return alive_; }
 
+  /// Session bookkeeping, exposed read-only so chaos recovery
+  /// verification can compute surviving-session sets (chaos::verify).
+  const std::map<NodeId, std::set<u32>>& up_apps() const { return up_apps_; }
+  const std::map<NodeId, std::set<u32>>& down_apps() const {
+    return down_apps_;
+  }
+  const std::set<u32>& joined_apps() const { return joined_; }
+
  private:
   friend class SimNet;
 
@@ -226,12 +234,30 @@ class SimNet {
   /// Abrupt node failure: all its links break; peers detect and Domino.
   void kill_node(const NodeId& id);
 
+  /// Cuts the (undirected) link between `a` and `b` as a fault: both ends
+  /// run the non-deliberate failure path (kBrokenLink + Domino), exactly
+  /// like a kSeverLink control command on the real engine.
+  void sever_link(const NodeId& a, const NodeId& b);
+
+  /// Partitions the network: nodes in different groups cannot talk until
+  /// heal(). Existing links across the cut fail like severed ones, and
+  /// re-dials across the cut yield dead links (kBrokenLink on use).
+  /// Nodes not named in any group are unaffected.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Lifts the current partition; subsequent dials succeed again.
+  void heal();
+
   // --- Measurements -------------------------------------------------------------
 
   /// Delivered throughput of the directed link a->b over the meter
   /// window, bytes/second (0 if the link does not exist).
   double link_rate(const NodeId& a, const NodeId& b) const;
+  /// True when the directed link a->b exists and has not been closed.
+  bool link_open(const NodeId& a, const NodeId& b) const;
   u64 link_delivered_bytes(const NodeId& a, const NodeId& b) const;
+  u64 link_sent_bytes(const NodeId& a, const NodeId& b) const;
+  u64 link_lost_bytes(const NodeId& a, const NodeId& b) const;
 
   const MsgAccounting& accounting() const { return accounting_; }
 
@@ -264,6 +290,7 @@ class SimNet {
   void on_recv_space(const NodeId& dst, const NodeId& src);
   void close_links_of(const NodeId& id, const NodeId& only_peer = NodeId());
   Duration latency_of(const NodeId& a, const NodeId& b) const;
+  bool blocked(const NodeId& a, const NodeId& b) const;
   void record_trace(const NodeId& node, std::string_view text);
 
   Config config_;
@@ -284,6 +311,7 @@ class SimNet {
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<SimLink>> links_;
   std::map<std::pair<NodeId, NodeId>, Duration> latency_override_;
   std::map<std::pair<NodeId, NodeId>, double> loss_override_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;  // partition cut (directed)
   MsgAccounting accounting_;
   std::vector<TraceRecord> traces_;
 };

@@ -1,0 +1,159 @@
+// Property tests over seeded random FaultPlans: whatever a random burst
+// of kills, severs, partitions and loss does to a multicast tree, once
+// the plan's final heal drains the overlay must settle back into a valid
+// tree — connected to the source, acyclic, in-degree one — and replaying
+// the same seed must reproduce the identical fault trace (DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "chaos/fault_plan.h"
+#include "chaos/sim_driver.h"
+#include "chaos/verify.h"
+#include "sim/sim_net.h"
+#include "trees/tree_algorithm.h"
+
+namespace iov::chaos {
+namespace {
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kReceivers = 6;
+constexpr Duration kHorizon = seconds(10.0);
+constexpr std::size_t kFaults = 6;
+
+struct Member {
+  sim::SimEngine* engine = nullptr;
+  trees::TreeAlgorithm* alg = nullptr;
+};
+
+Member add_member(sim::SimNet& net, double bw) {
+  auto algorithm = std::make_unique<trees::TreeAlgorithm>(
+      trees::TreeStrategy::kNsAware, bw);
+  Member m;
+  m.alg = algorithm.get();
+  sim::SimNodeConfig config;
+  config.bandwidth.node_up = bw;
+  m.engine = &net.add_node(std::move(algorithm), config);
+  return m;
+}
+
+struct Overlay {
+  sim::SimNet net;
+  Member source;
+  std::vector<Member> receivers;
+  Binding binding;
+  std::vector<std::string> names;
+  std::map<NodeId, Member*> by_id;
+
+  explicit Overlay(u64 seed) : net(sim::SimNet::Config{seed, 50e6, millis(1)}) {
+    source = add_member(net, 200e3);
+    source.engine->register_app(
+        kApp, std::make_shared<apps::CbrSource>(1000, 200e3));
+    for (std::size_t i = 0; i < kReceivers; ++i) {
+      receivers.push_back(add_member(net, 100e3));
+    }
+    names.push_back("n0");
+    binding.emplace("n0", source.engine->self());
+    by_id[source.engine->self()] = &source;
+    for (std::size_t i = 0; i < kReceivers; ++i) {
+      const std::string name = "n" + std::to_string(i + 1);
+      names.push_back(name);
+      binding.emplace(name, receivers[i].engine->self());
+      by_id[receivers[i].engine->self()] = &receivers[i];
+    }
+
+    for (const auto& m : receivers) net.bootstrap(m.engine->self(), 8);
+    net.bootstrap(source.engine->self(), 8);
+    const std::string announce = source.engine->self().to_string();
+    net.post(source.engine->self(),
+             Msg::control(MsgType::kSAnnounce, NodeId(), kControlApp,
+                          static_cast<i32>(kApp), 0, announce));
+    for (const auto& m : receivers) {
+      net.post(m.engine->self(),
+               Msg::control(MsgType::kSAnnounce, NodeId(), kControlApp,
+                            static_cast<i32>(kApp), 0, announce));
+    }
+    net.deploy(source.engine->self(), kApp);
+    net.run_for(millis(200));
+    for (const auto& m : receivers) {
+      net.join_app(m.engine->self(), kApp);
+      net.run_for(seconds(1.0));
+    }
+    net.run_for(seconds(3.0));
+  }
+
+  bool alive(const NodeId& id) const {
+    const sim::SimEngine* n = net.node(id);
+    return n != nullptr && n->alive();
+  }
+};
+
+// Walks parent pointers from `from` to the source; fails on a cycle, a
+// dead parent, or a chain that never reaches the root.
+void expect_rooted(const Overlay& o, const Member& from) {
+  const NodeId root = o.source.engine->self();
+  std::set<NodeId> visited;
+  NodeId current = from.engine->self();
+  while (current != root) {
+    ASSERT_TRUE(visited.insert(current).second)
+        << "cycle through " << current.to_string();
+    ASSERT_LE(visited.size(), kReceivers + 1) << "parent chain too long";
+    const auto it = o.by_id.find(current);
+    ASSERT_NE(it, o.by_id.end()) << current.to_string();
+    const auto parent = it->second->alg->parent(kApp);
+    ASSERT_TRUE(parent.has_value())
+        << current.to_string() << " is in-tree but parentless";
+    ASSERT_TRUE(o.alive(*parent))
+        << current.to_string() << " has dead parent " << parent->to_string();
+    // In-degree one is structural (a single parent pointer); what needs
+    // checking is that the edge is mutual and leads upward.
+    current = *parent;
+  }
+}
+
+class ChaosProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChaosProperty, TreeRecoversInvariantsAfterFinalHeal) {
+  const u64 seed = GetParam();
+  Overlay overlay(seed);
+  const FaultPlan plan =
+      FaultPlan::random(seed, overlay.names, kHorizon, kFaults);
+  SimChaosDriver driver(overlay.net, plan, overlay.binding);
+  driver.run_for(kHorizon);
+  ASSERT_TRUE(driver.done());
+  overlay.net.run_for(seconds(12.0));  // post-heal settle and rejoin
+
+  // Every alive receiver still in the session hangs off a valid,
+  // acyclic parent chain that reaches the source.
+  std::size_t in_tree = 0;
+  for (const Member& m : overlay.receivers) {
+    if (!overlay.alive(m.engine->self())) continue;
+    if (!m.alg->in_tree(kApp)) continue;
+    ++in_tree;
+    expect_rooted(overlay, m);
+  }
+  // The heal drained the partition, so the overlay cannot have collapsed
+  // entirely: the source is alive (random() never kills n0).
+  EXPECT_TRUE(overlay.alive(overlay.source.engine->self()));
+  // And the Domino bookkeeping is clean: nobody references dead
+  // upstreams over closed links.
+  EXPECT_EQ(verify_domino_teardown(overlay.net).to_string(), "ok");
+
+  // Replaying the same seed reproduces the identical fault trace.
+  Overlay replay(seed);
+  const FaultPlan plan2 =
+      FaultPlan::random(seed, replay.names, kHorizon, kFaults);
+  SimChaosDriver driver2(replay.net, plan2, replay.binding);
+  driver2.run_for(kHorizon);
+  EXPECT_EQ(driver.trace_text(), driver2.trace_text());
+  EXPECT_FALSE(driver.trace_text().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace iov::chaos

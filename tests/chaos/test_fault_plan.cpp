@@ -1,0 +1,129 @@
+// FaultPlan unit tests: builder ordering, DSL round-trip, parse
+// diagnostics, and the seeded-random generator's determinism (the
+// foundation of the chaos tier's replay guarantees, DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include "chaos/fault_plan.h"
+
+namespace iov::chaos {
+namespace {
+
+TEST(FaultPlan, BuilderKeepsEventsTimeSorted) {
+  FaultPlan plan;
+  plan.sever(seconds(3.0), "a", "b")
+      .kill(seconds(1.0), "c")
+      .heal(seconds(2.0));
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kKillNode);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kHeal);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kSeverLink);
+}
+
+TEST(FaultPlan, SameTimeEventsKeepInsertionOrder) {
+  FaultPlan plan;
+  plan.kill(seconds(1.0), "first").sever(seconds(1.0), "second", "third");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].a, "first");
+  EXPECT_EQ(plan.events()[1].a, "second");
+}
+
+TEST(FaultPlan, ToStringParsesBack) {
+  FaultPlan plan;
+  plan.kill(seconds(2.0), "n1")
+      .sever(seconds(2.5), "n1", "n2")
+      .loss(seconds(3.0), "n2", "n3", 0.25)
+      .slow_link(seconds(3.5), "n3", "n4", 20000)
+      .partition(seconds(4.0), {{"n1", "n2"}, {"n3", "n4"}})
+      .heal(seconds(5.0));
+
+  const auto parsed = FaultPlan::parse(plan.to_string());
+  ASSERT_TRUE(parsed.plan.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.plan->to_string(), plan.to_string());
+  ASSERT_EQ(parsed.plan->size(), plan.size());
+  const FaultEvent& part = parsed.plan->events()[4];
+  EXPECT_EQ(part.kind, FaultKind::kPartition);
+  ASSERT_EQ(part.groups.size(), 2u);
+  EXPECT_EQ(part.groups[0], (std::vector<std::string>{"n1", "n2"}));
+  EXPECT_EQ(part.groups[1], (std::vector<std::string>{"n3", "n4"}));
+}
+
+TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
+  const auto r = FaultPlan::parse(
+      "# header comment\n"
+      "\n"
+      "  at 1.5 kill n2   # trailing words are ignored by the verb\n"
+      "at 2 heal\n");
+  ASSERT_TRUE(r.plan.has_value()) << r.error;
+  ASSERT_EQ(r.plan->size(), 2u);
+  EXPECT_EQ(r.plan->events()[0].kind, FaultKind::kKillNode);
+  EXPECT_EQ(r.plan->events()[0].a, "n2");
+  EXPECT_EQ(r.plan->events()[0].at, seconds(1.5));
+}
+
+TEST(FaultPlan, ParseReportsLineNumbersOnErrors) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"kill n1", "line 1"},                       // missing "at"
+      {"at x kill n1", "bad time"},                // unparsable time
+      {"at -1 kill n1", "bad time"},               // negative time
+      {"at 1 explode n1", "unknown fault"},        // unknown verb
+      {"at 1 kill", "kill needs"},                 // missing operand
+      {"at 1 sever n1", "sever needs"},            // one operand short
+      {"at 1 loss n1 n2 1.5", "[0, 1]"},           // probability range
+      {"at 1 slow-link n1 n2 -5", "slow-link"},    // negative rate
+      {"at 1 partition n1,n2", "at least two"},    // single group
+      {"at 1 heal\nat 2 kill", "line 2"},          // error on later line
+  };
+  for (const Case& c : cases) {
+    const auto r = FaultPlan::parse(c.text);
+    EXPECT_FALSE(r.plan.has_value()) << c.text;
+    EXPECT_NE(r.error.find(c.needle), std::string::npos)
+        << c.text << " -> " << r.error;
+  }
+}
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed) {
+  const std::vector<std::string> nodes = {"n1", "n2", "n3", "n4", "n5"};
+  const FaultPlan a = FaultPlan::random(42, nodes, seconds(10.0), 12);
+  const FaultPlan b = FaultPlan::random(42, nodes, seconds(10.0), 12);
+  const FaultPlan c = FaultPlan::random(43, nodes, seconds(10.0), 12);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultPlan, RandomEndsWithRecoveryDrain) {
+  const std::vector<std::string> nodes = {"n1", "n2", "n3"};
+  const Duration horizon = seconds(8.0);
+  const FaultPlan plan = FaultPlan::random(7, nodes, horizon, 6);
+  ASSERT_GE(plan.size(), 7u);  // 6 faults + heal + loss resets
+  // Everything scheduled inside the horizon except the final drain.
+  bool saw_final_heal = false;
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_LE(e.at, horizon);
+    if (e.at == horizon && e.kind == FaultKind::kHeal) saw_final_heal = true;
+    if (e.at == horizon && e.kind == FaultKind::kSetLoss) {
+      EXPECT_EQ(e.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_final_heal);
+  // And a random plan round-trips through the DSL like a hand-written one.
+  const auto parsed = FaultPlan::parse(plan.to_string());
+  ASSERT_TRUE(parsed.plan.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.plan->to_string(), plan.to_string());
+}
+
+TEST(FaultPlan, RandomNeverKillsTheFirstNode) {
+  const std::vector<std::string> nodes = {"src", "r1", "r2", "r3"};
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, nodes, seconds(10.0), 10);
+    for (const FaultEvent& e : plan.events()) {
+      if (e.kind == FaultKind::kKillNode) EXPECT_NE(e.a, "src");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iov::chaos

@@ -122,8 +122,8 @@ TEST(ObserverMetrics, RequestReportClosesRttHistogram) {
   ASSERT_TRUE(wait_until([&] { return obs.alive_count() == 1; }));
   ASSERT_TRUE(obs.request_report(a.engine->self()));
   ASSERT_TRUE(wait_until([&] {
-    const auto* s = find_sample(obs.metrics().snapshot(),
-                                obs::names::kObserverReportRttSeconds);
+    const auto snap = obs.metrics().snapshot();
+    const auto* s = find_sample(snap, obs::names::kObserverReportRttSeconds);
     return s != nullptr && s->hist.count > 0;
   }));
 }
@@ -154,8 +154,9 @@ TEST(ObserverMetrics, V1ReportWithoutMetricsStillAccepted) {
   EXPECT_FALSE(info->last_metrics.has_value());
 
   // Nothing about a v1 report is malformed.
-  const auto* malformed = find_sample(
-      obs.metrics().snapshot(), obs::names::kObserverMalformedReportsTotal);
+  const auto snap = obs.metrics().snapshot();
+  const auto* malformed =
+      find_sample(snap, obs::names::kObserverMalformedReportsTotal);
   ASSERT_NE(malformed, nullptr);
   EXPECT_EQ(malformed->value, 0.0);
 }

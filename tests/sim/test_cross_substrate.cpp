@@ -5,9 +5,16 @@
 // can stand in for the testbed experiments.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/sink.h"
 #include "apps/source.h"
+#include "chaos/fault_plan.h"
+#include "chaos/real_driver.h"
+#include "chaos/sim_driver.h"
+#include "chaos/verify.h"
 #include "engine/engine.h"
+#include "observer/observer.h"
 #include "sim/sim_net.h"
 #include "../engine/engine_test_util.h"
 
@@ -85,6 +92,117 @@ double run_sim(Duration measure) {
   net.run_for(measure);
   const u64 after = sink->stats(0).bytes;
   return static_cast<double>(after - before) / to_seconds(measure);
+}
+
+// Runs the same kill-B-mid-stream FaultPlan on a 3-node chain and
+// returns which abstract nodes still participate in the session
+// afterwards: "A" if the source is still sourcing, "B" if the middle
+// relay is still up, "C" if the sink still receives fresh bytes.
+std::set<std::string> real_survivors_after_kill() {
+  observer::Observer obs{observer::ObserverConfig{}};
+  EXPECT_TRUE(obs.start());
+  std::set<std::string> survivors;
+  {
+    auto alg_a = std::make_unique<RecordingRelay>();
+    auto alg_b = std::make_unique<RecordingRelay>();
+    auto alg_c = std::make_unique<RecordingRelay>();
+    auto* relay_a = alg_a.get();
+    auto* relay_b = alg_b.get();
+    auto* relay_c = alg_c.get();
+    engine::EngineConfig config;
+    config.observer = obs.address();
+    engine::Engine a(config, std::move(alg_a));
+    engine::Engine b(config, std::move(alg_b));
+    engine::Engine c(config, std::move(alg_c));
+    auto sink = std::make_shared<apps::SinkApp>();
+    a.register_app(kApp, std::make_shared<apps::BackToBackSource>(kPayload));
+    c.register_app(kApp, sink);
+    EXPECT_TRUE(a.start());
+    EXPECT_TRUE(b.start());
+    EXPECT_TRUE(c.start());
+    relay_a->add_child(kApp, b.self());
+    relay_b->add_child(kApp, c.self());
+    relay_c->set_consume(kApp, true);
+    a.deploy_source(kApp);
+    EXPECT_TRUE(test::wait_until(
+        [&] { return sink->stats(0).bytes > 10000; }, seconds(10.0)));
+
+    chaos::FaultPlan plan;
+    plan.kill(millis(100), "B");
+    chaos::RealChaosDriver driver(obs, plan, chaos::Binding{{"B", b.self()}});
+    driver.run();
+    // Wait for the Domino to reach C, then for queues to drain.
+    EXPECT_TRUE(test::wait_until(
+        [&] {
+          return !b.running() &&
+                 relay_c->count(MsgType::kBrokenLink) +
+                         relay_c->count(MsgType::kBrokenSource) >
+                     0;
+        },
+        seconds(10.0)));
+    sleep_for(seconds(1.5));
+
+    if (a.running() && a.is_source(kApp)) survivors.insert("A");
+    if (b.running()) survivors.insert("B");
+    const u64 settled = sink->stats(0).bytes;
+    sleep_for(seconds(1.0));
+    if (sink->stats(0).bytes > settled) survivors.insert("C");
+
+    a.stop();
+    b.stop();
+    c.stop();
+    a.join();
+    b.join();
+    c.join();
+  }
+  obs.stop();
+  obs.join();
+  return survivors;
+}
+
+std::set<std::string> sim_survivors_after_kill() {
+  sim::SimNet net;
+  auto alg_a = std::make_unique<RecordingRelay>();
+  auto alg_b = std::make_unique<RecordingRelay>();
+  auto alg_c = std::make_unique<RecordingRelay>();
+  auto* relay_a = alg_a.get();
+  auto* relay_b = alg_b.get();
+  auto* relay_c = alg_c.get();
+  auto& a = net.add_node(std::move(alg_a));
+  auto& b = net.add_node(std::move(alg_b));
+  auto& c = net.add_node(std::move(alg_c));
+  auto sink = std::make_shared<apps::SinkApp>();
+  a.register_app(kApp, std::make_shared<apps::BackToBackSource>(kPayload));
+  c.register_app(kApp, sink);
+  relay_a->add_child(kApp, b.self());
+  relay_b->add_child(kApp, c.self());
+  relay_c->set_consume(kApp, true);
+  net.deploy(a.self(), kApp);
+  net.run_for(seconds(2.0));
+
+  chaos::FaultPlan plan;
+  plan.kill(millis(100), "B");
+  chaos::SimChaosDriver driver(net, plan, chaos::Binding{{"B", b.self()}});
+  driver.run_for(seconds(6.0));
+  EXPECT_EQ(chaos::verify_domino_teardown(net).to_string(), "ok");
+
+  std::set<std::string> survivors;
+  if (a.alive() && a.is_source(kApp)) survivors.insert("A");
+  if (b.alive()) survivors.insert("B");
+  const u64 settled = sink->stats(0).bytes;
+  net.run_for(seconds(1.0));
+  if (sink->stats(0).bytes > settled) survivors.insert("C");
+  return survivors;
+}
+
+// The same fault plan must kill the same sessions on both substrates:
+// the source keeps sourcing, the killed relay is gone, and the sink's
+// session is torn down by the Domino (paper §2.2).
+TEST(CrossSubstrate, KillMidStreamSurvivalAgrees) {
+  const std::set<std::string> real = real_survivors_after_kill();
+  const std::set<std::string> simulated = sim_survivors_after_kill();
+  EXPECT_EQ(real, simulated);
+  EXPECT_EQ(real, (std::set<std::string>{"A"}));
 }
 
 TEST(CrossSubstrate, CappedChainThroughputAgrees) {

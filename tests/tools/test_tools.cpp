@@ -151,5 +151,78 @@ TEST(Tools, ObserverAndNodesRunAsProcesses) {
   observer->write_line("quit");
 }
 
+// Chaos console verbs end to end: `sever` injects a link failure into a
+// live relay chain, `loss` sets a drop rate, and a killed node vanishes
+// from the observer's alive set (the operational story behind
+// run_local_overlay.sh --chaos).
+TEST(Tools, ChaosConsoleCommandsDriveLiveNodes) {
+  const std::string observerd = find_tool("iov_observerd");
+  const std::string node_bin = find_tool("iov_node");
+  if (observerd.empty() || node_bin.empty()) {
+    GTEST_SKIP() << "tools binaries not found next to the test";
+  }
+
+  const std::string obs_port = "7921";
+  auto observer = spawn({observerd, "--port", obs_port});
+  ASSERT_NE(observer, nullptr);
+  std::string obs_out;
+  ASSERT_TRUE(wait_for_output(*observer, obs_out, "observer listening",
+                              seconds(5.0)));
+
+  auto source = spawn({node_bin, "--observer", "127.0.0.1:" + obs_port,
+                       "--port", "7922", "--source", "1:2000"});
+  auto relay = spawn({node_bin, "--observer", "127.0.0.1:" + obs_port,
+                      "--port", "7923"});
+  auto sink = spawn({node_bin, "--observer", "127.0.0.1:" + obs_port,
+                     "--port", "7924", "--sink", "1"});
+  ASSERT_NE(source, nullptr);
+  ASSERT_NE(relay, nullptr);
+  ASSERT_NE(sink, nullptr);
+  std::string src_out, relay_out, sink_out;
+  ASSERT_TRUE(wait_for_output(*source, src_out, "up", seconds(5.0)));
+  ASSERT_TRUE(wait_for_output(*relay, relay_out, "up", seconds(5.0)));
+  ASSERT_TRUE(wait_for_output(*sink, sink_out, "up", seconds(5.0)));
+
+  observer->write_line("control 127.0.0.1:7922 1 1 127.0.0.1:7923");
+  observer->write_line("control 127.0.0.1:7923 1 1 127.0.0.1:7924");
+  observer->write_line("join 127.0.0.1:7924 1");
+  observer->write_line("deploy 127.0.0.1:7922 1");
+  sleep_for(seconds(1.0));
+  observer->write_line("list");
+  ASSERT_TRUE(wait_for_output(*observer, obs_out, "3 alive", seconds(5.0)));
+
+  // Inject a link failure at the relay: the console acknowledges, and
+  // every process stays up (sever is a fault, not a kill).
+  std::string after_sever;
+  observer->write_line("sever 127.0.0.1:7923 127.0.0.1:7922");
+  ASSERT_TRUE(wait_for_output(*observer, after_sever, "ok", seconds(5.0)))
+      << after_sever;
+  std::string after_loss;
+  observer->write_line("loss 127.0.0.1:7922 127.0.0.1:7923 0.5");
+  ASSERT_TRUE(wait_for_output(*observer, after_loss, "ok", seconds(5.0)))
+      << after_loss;
+  std::string alive_check;
+  observer->write_line("list");
+  ASSERT_TRUE(wait_for_output(*observer, alive_check, "3 alive", seconds(5.0)))
+      << alive_check;
+
+  // Kill the relay: it departs and drops out of the observer's alive set.
+  observer->write_line("kill 127.0.0.1:7923");
+  ASSERT_TRUE(wait_for_output(*relay, relay_out, "down", seconds(5.0)));
+  std::string after_kill;
+  const TimePoint deadline = RealClock::instance().now() + seconds(10.0);
+  bool departed = false;
+  while (!departed && RealClock::instance().now() < deadline) {
+    observer->write_line("list");
+    departed = wait_for_output(*observer, after_kill, "2 alive", seconds(1.0));
+  }
+  EXPECT_TRUE(departed) << after_kill;
+  EXPECT_NE(after_kill.find("127.0.0.1:7923"), std::string::npos)
+      << after_kill;  // still listed, but as dead
+  EXPECT_NE(after_kill.find("dead"), std::string::npos) << after_kill;
+
+  observer->write_line("quit");
+}
+
 }  // namespace
 }  // namespace iov

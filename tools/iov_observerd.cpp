@@ -22,6 +22,10 @@
 //                                scope: total|up|down|link-up|link-down
 //   control <node> <p0> <p1> [text]   algorithm-specific control message
 //   kill <node>                  terminate a node
+//   sever <node> <peer>          tear down the node's link to peer as if
+//                                it had failed (chaos injection)
+//   loss <node> <peer> <p>       drop fraction p of messages node sends
+//                                to peer (0 disables)
 //   quit                         shut the observer down
 #include <csignal>
 #include <cstdio>
@@ -122,7 +126,8 @@ int main(int argc, char** argv) {
           "report <node> | deploy <node> <app> | stop-source "
           "<node> <app> | join <node> <app> [hint] | leave <node> <app> | "
           "bw <node> total|up|down|link-up|link-down <bps> [peer] | "
-          "control <node> <p0> <p1> [text] | kill <node> | quit\n");
+          "control <node> <p0> <p1> [text] | kill <node> | "
+          "sever <node> <peer> | loss <node> <peer> <p> | quit\n");
     } else if (cmd == "list") {
       cmd_list(obs);
     } else if (cmd == "dot") {
@@ -194,6 +199,16 @@ int main(int argc, char** argv) {
     } else if (cmd == "kill") {
       const auto id = node_arg();
       if (id) report(obs.terminate_node(*id));
+    } else if (cmd == "sever") {
+      const auto id = node_arg();
+      const auto peer = node_arg();
+      if (id && peer) report(obs.sever_link(*id, *peer));
+    } else if (cmd == "loss") {
+      const auto id = node_arg();
+      const auto peer = node_arg();
+      double p = 0.0;
+      in >> p;
+      if (id && peer) report(obs.set_loss(*id, *peer, p));
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

@@ -6,11 +6,32 @@
 # real processes on this machine, deploys a stream through the observer's
 # console protocol, shows the topology, and tears everything down.
 #
-#   tools/run_local_overlay.sh [build_dir] [nodes]
+#   tools/run_local_overlay.sh [build_dir] [nodes] [--chaos plan_file]
+#
+# With --chaos, the kill/sever/loss/slow-link lines of the FaultPlan DSL
+# (DESIGN.md §7) are replayed against the live overlay through the
+# observer console: node names n1..nN bind to the spawned processes.
 set -euo pipefail
 
-BUILD=${1:-build}
-NODES=${2:-4}
+BUILD=build
+NODES=4
+CHAOS_PLAN=""
+POSITIONAL=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --chaos)
+      CHAOS_PLAN=$2; shift 2 ;;
+    *)
+      POSITIONAL=$((POSITIONAL + 1))
+      if [ "$POSITIONAL" -eq 1 ]; then BUILD=$1; else NODES=$1; fi
+      shift ;;
+  esac
+done
+if [ -n "$CHAOS_PLAN" ] && [ ! -f "$CHAOS_PLAN" ]; then
+  echo "chaos plan '$CHAOS_PLAN' not found" >&2
+  exit 2
+fi
+
 OBS_PORT=7800
 BASE_PORT=7810
 APP=1
@@ -46,6 +67,37 @@ sleep 1
 
 CTL() { echo "$1" > /tmp/iov_obs_ctl.$$; }
 
+# Maps a plan node name (n1..nN, or a literal ip:port) to its address.
+addr_of() {
+  case "$1" in
+    n*) echo "127.0.0.1:$((BASE_PORT + ${1#n}))" ;;
+    *) echo "$1" ;;
+  esac
+}
+
+# Replays the kill/sever/loss/slow-link lines of a FaultPlan file against
+# the live overlay (partition/heal have no single-command console verb).
+run_chaos() {
+  local start now due rest t verb a b v
+  start=$(date +%s.%N)
+  while IFS= read -r line; do
+    line=${line%%#*}
+    read -r _ t verb rest <<<"$line" || true
+    [ -z "${verb:-}" ] && continue
+    due=$(awk -v s="$start" -v t="$t" 'BEGIN { print s + t }')
+    now=$(date +%s.%N)
+    sleep "$(awk -v d="$due" -v n="$now" 'BEGIN { print (d > n) ? d - n : 0 }')"
+    read -r a b v <<<"$rest" || true
+    case "$verb" in
+      kill)      echo "chaos: kill $a";      CTL "kill $(addr_of "$a")" ;;
+      sever)     echo "chaos: sever $a $b";  CTL "sever $(addr_of "$a") $(addr_of "$b")" ;;
+      loss)      echo "chaos: loss $a $b $v"; CTL "loss $(addr_of "$a") $(addr_of "$b") $v" ;;
+      slow-link) echo "chaos: slow $a $b $v"; CTL "bw $(addr_of "$a") link-up $v $(addr_of "$b")" ;;
+      *)         echo "chaos: skipping '$verb' (sim-only verb)" ;;
+    esac
+  done < "$CHAOS_PLAN"
+}
+
 # Wire the chain through the relay control messages and deploy.
 for i in $(seq 1 $((NODES - 1))); do
   SRC=127.0.0.1:$((BASE_PORT + i))
@@ -54,6 +106,11 @@ for i in $(seq 1 $((NODES - 1))); do
 done
 CTL "join 127.0.0.1:$((BASE_PORT + NODES)) $APP"
 CTL "deploy 127.0.0.1:$((BASE_PORT + 1)) $APP"
+
+if [ -n "$CHAOS_PLAN" ]; then
+  echo "replaying chaos plan $CHAOS_PLAN"
+  run_chaos
+fi
 
 sleep 3
 CTL "list"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the whole tree twice — once under ASan+UBSan, once under TSan —
+# and runs the full ctest suite in each (README "Verification recipe").
+#
+#   tools/run_sanitizers.sh [address|thread]   # default: both
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLAVOURS=${1:-"address thread"}
+JOBS=$(nproc)
+
+for flavour in $FLAVOURS; do
+  BUILD=build-${flavour/address/asan}
+  BUILD=${BUILD/thread/tsan}
+  echo "=== $flavour sanitizer -> $BUILD ==="
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DIOV_SANITIZE="$flavour" >/dev/null
+  cmake --build "$BUILD" -j "$JOBS"
+  # Second-guess timer slop under sanitizer overhead, not correctness:
+  # the suites' own timing tolerances already absorb it.
+  (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+done
+echo "sanitizer runs complete: $FLAVOURS"
