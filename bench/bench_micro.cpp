@@ -4,12 +4,16 @@
 // accounting, GF(2^8) coding kernels, and the simulator's event loop.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "coding/decoder.h"
 #include "coding/gf256.h"
 #include "common/bounded_queue.h"
 #include "common/rng.h"
 #include "message/codec.h"
 #include "message/msg.h"
+#include "net/framing.h"
+#include "net/socket.h"
 #include "net/token_bucket.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
@@ -174,6 +178,92 @@ void BM_MetricsSnapshotParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricsSnapshotParse);
+
+// --- Wire path: legacy per-message reads/writes vs the batched
+// scatter-gather + bulk-decode path (DESIGN.md §8), over real loopback
+// TCP. One iteration moves a fixed batch of messages writer->reader;
+// the batch is sized to stay inside the kernel socket buffers so a
+// single thread can write then read without deadlock.
+
+struct WirePair {
+  std::optional<TcpListener> listener;
+  std::optional<TcpConn> client;
+  std::optional<TcpConn> server;
+
+  bool open() {
+    listener = TcpListener::listen(0);
+    if (!listener) return false;
+    client = TcpConn::connect(NodeId::loopback(listener->port()),
+                              seconds(1.0));
+    if (!client || !wait_readable(listener->fd(), seconds(1.0))) return false;
+    server = listener->accept();
+    return server.has_value();
+  }
+};
+
+std::vector<MsgPtr> wire_batch_msgs(std::size_t payload) {
+  // Keep a full batch under ~32 KB of in-flight bytes.
+  const std::size_t n = std::max<std::size_t>(
+      1, std::min<std::size_t>(kMaxWireBatch,
+                               (32 * 1024) / (payload + Msg::kHeaderSize)));
+  std::vector<MsgPtr> msgs;
+  for (std::size_t i = 0; i < n; ++i) {
+    msgs.push_back(Msg::data(NodeId::loopback(1), 1, static_cast<u32>(i),
+                             Buffer::pattern(payload, static_cast<u32>(i))));
+  }
+  return msgs;
+}
+
+void BM_WireRoundTripLegacy(benchmark::State& state) {
+  WirePair pair;
+  if (!pair.open()) {
+    state.SkipWithError("loopback pair failed");
+    return;
+  }
+  const auto msgs = wire_batch_msgs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& m : msgs) {
+      if (!write_msg(*pair.client, *m)) {
+        state.SkipWithError("write failed");
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      benchmark::DoNotOptimize(read_msg(*pair.server));
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(msgs.size()));
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations()) *
+      static_cast<i64>(msgs.size() * (state.range(0) + Msg::kHeaderSize)));
+}
+BENCHMARK(BM_WireRoundTripLegacy)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_WireRoundTripBatched(benchmark::State& state) {
+  WirePair pair;
+  if (!pair.open()) {
+    state.SkipWithError("loopback pair failed");
+    return;
+  }
+  const auto msgs = wire_batch_msgs(static_cast<std::size_t>(state.range(0)));
+  FrameReader reader(*pair.server);
+  for (auto _ : state) {
+    if (!write_batch(*pair.client, msgs.data(), msgs.size())) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      benchmark::DoNotOptimize(reader.next());
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(msgs.size()));
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations()) *
+      static_cast<i64>(msgs.size() * (state.range(0) + Msg::kHeaderSize)));
+}
+BENCHMARK(BM_WireRoundTripBatched)->Arg(64)->Arg(1024)->Arg(65536);
 
 void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {

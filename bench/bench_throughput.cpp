@@ -1,0 +1,264 @@
+// Wire-path batching ablation (DESIGN.md §8): loopback pair and relay
+// chain, back-to-back traffic, measured with the batched zero-copy wire
+// path (scatter-gather sends + FrameReader bulk decode, the default)
+// and with the legacy per-message knobs (`wire_batch_msgs = 1`,
+// `wire_bulk_reader = false`) — the pre-change syscall pattern, kept as
+// a live configuration precisely so this comparison stays honest.
+//
+// Reports messages/s and MB/s from the terminal sink, plus
+// syscalls-per-wire-message summed over every link of every engine
+// (iov_link_syscalls_total / iov_link_messages_total). Emits a JSON
+// artifact (default BENCH_throughput.json; see
+// tools/run_bench_throughput.sh).
+//
+// Flags:
+//   --out <path>   JSON output path (default BENCH_throughput.json)
+//   --secs <s>     measured window per configuration (default 1.0)
+//   --smoke        ~5 s CI variant: chain @ 1 KB only, short windows,
+//                  exits non-zero if the batched path fails to beat one
+//                  syscall per message.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithm/relay.h"
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "engine/engine.h"
+#include "obs/metric_names.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+using engine::Engine;
+using engine::EngineConfig;
+
+constexpr u32 kApp = 1;
+
+struct RunResult {
+  std::string topology;
+  std::size_t payload = 0;
+  bool batched = false;
+  double msgs_per_sec = 0;
+  double bytes_per_sec = 0;
+  double syscalls_per_msg = 0;
+  u64 sink_msgs = 0;
+};
+
+struct Node {
+  std::unique_ptr<Engine> engine;
+  RelayAlgorithm* relay = nullptr;
+};
+
+Node make_node(bool batched) {
+  auto algorithm = std::make_unique<RelayAlgorithm>();
+  Node n;
+  n.relay = algorithm.get();
+  EngineConfig config;
+  config.recv_buffer_msgs = 1024;
+  config.send_buffer_msgs = 1024;
+  // Deep switch rounds so sources and relays hand the sender thread
+  // enough backlog for full-size flushes.
+  config.default_switch_weight = 64;
+  // Pin the socket buffers explicitly (to the engine default) so both
+  // modes always run the same locked size regardless of future default
+  // changes: auto-tuned buffers are subject to the kernel's window
+  // clamp, which intermittently collapses a saturated loopback link into
+  // RTO-paced retransmission stalls (see
+  // EngineConfig::socket_buffer_bytes) and would make the legacy
+  // baseline bimodal.
+  config.socket_buffer_bytes = 256 * 1024;
+  config.wire_batch_msgs = batched ? 32 : 1;
+  config.wire_bulk_reader = batched;
+  n.engine = std::make_unique<Engine>(config, std::move(algorithm));
+  return n;
+}
+
+/// Sums a counter metric across every link (all peers, both dirs).
+u64 sum_counter(const Engine& e, const char* name) {
+  double total = 0;
+  for (const auto& s : e.metrics().snapshot().samples) {
+    if (s.name == name) total += s.value;
+  }
+  return static_cast<u64>(total);
+}
+
+/// `hops` engines in a line: source at [0], sink at [hops-1].
+RunResult run_case(std::size_t hops, std::size_t payload, bool batched,
+                   double secs) {
+  RealClock clock;
+  std::vector<Node> nodes;
+  for (std::size_t i = 0; i < hops; ++i) nodes.push_back(make_node(batched));
+
+  nodes.front().engine->register_app(
+      kApp, std::make_shared<apps::BackToBackSource>(payload));
+  auto sink = std::make_shared<apps::SinkApp>();
+  nodes.back().engine->register_app(kApp, sink);
+  for (auto& n : nodes) {
+    if (!n.engine->start()) {
+      std::fprintf(stderr, "engine start failed\n");
+      std::exit(1);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < hops; ++i) {
+    nodes[i].relay->add_child(kApp, nodes[i + 1].engine->self());
+  }
+  nodes.back().relay->set_consume(kApp, true);
+  nodes.front().engine->deploy_source(kApp);
+
+  sleep_for(seconds(secs * 0.3));  // dial + settle
+  const auto s0 = sink->stats(clock.now());
+  u64 sys0 = 0;
+  u64 wire0 = 0;
+  for (const auto& n : nodes) {
+    sys0 += sum_counter(*n.engine, obs::names::kLinkSyscallsTotal);
+    wire0 += sum_counter(*n.engine, obs::names::kLinkMessagesTotal);
+  }
+  const TimePoint t0 = clock.now();
+  sleep_for(seconds(secs));
+  const auto s1 = sink->stats(clock.now());
+  u64 sys1 = 0;
+  u64 wire1 = 0;
+  for (const auto& n : nodes) {
+    sys1 += sum_counter(*n.engine, obs::names::kLinkSyscallsTotal);
+    wire1 += sum_counter(*n.engine, obs::names::kLinkMessagesTotal);
+  }
+  const double elapsed = to_seconds(clock.now() - t0);
+
+  for (auto& n : nodes) n.engine->stop();
+  for (auto& n : nodes) n.engine->join();
+
+  RunResult r;
+  r.topology = hops == 2 ? "pair" : "chain" + std::to_string(hops);
+  r.payload = payload;
+  r.batched = batched;
+  r.sink_msgs = s1.msgs - s0.msgs;
+  r.msgs_per_sec = static_cast<double>(s1.msgs - s0.msgs) / elapsed;
+  r.bytes_per_sec = static_cast<double>(s1.bytes - s0.bytes) / elapsed;
+  r.syscalls_per_msg =
+      wire1 > wire0
+          ? static_cast<double>(sys1 - sys0) / static_cast<double>(wire1 - wire0)
+          : 0.0;
+  return r;
+}
+
+void print_result(const RunResult& r) {
+  print_row({r.topology, std::to_string(r.payload),
+             r.batched ? "batched" : "legacy",
+             strf("%.0f", r.msgs_per_sec), mb(r.bytes_per_sec),
+             strf("%.3f", r.syscalls_per_msg)},
+            12);
+}
+
+const RunResult* find(const std::vector<RunResult>& results,
+                      const std::string& topology, std::size_t payload,
+                      bool batched) {
+  for (const auto& r : results) {
+    if (r.topology == topology && r.payload == payload &&
+        r.batched == batched) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void write_json(const std::string& path,
+                const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"topology\": \"%s\", \"payload_bytes\": %zu, "
+                 "\"mode\": \"%s\", \"msgs_per_sec\": %.1f, "
+                 "\"mbytes_per_sec\": %.3f, \"syscalls_per_msg\": %.4f, "
+                 "\"sink_msgs\": %llu}%s\n",
+                 r.topology.c_str(), r.payload,
+                 r.batched ? "batched" : "legacy", r.msgs_per_sec,
+                 r.bytes_per_sec / 1e6, r.syscalls_per_msg,
+                 static_cast<unsigned long long>(r.sink_msgs),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+  const RunResult* legacy = find(results, "chain4", 1024, false);
+  const RunResult* batched = find(results, "chain4", 1024, true);
+  if (legacy != nullptr && batched != nullptr &&
+      legacy->msgs_per_sec > 0) {
+    std::fprintf(f,
+                 ",\n  \"summary\": {\"chain_1kb_speedup\": %.2f, "
+                 "\"chain_1kb_batched_syscalls_per_msg\": %.4f, "
+                 "\"chain_1kb_legacy_syscalls_per_msg\": %.4f}",
+                 batched->msgs_per_sec / legacy->msgs_per_sec,
+                 batched->syscalls_per_msg, legacy->syscalls_per_msg);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_throughput.json";
+  double secs = 1.0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--secs") == 0 && i + 1 < argc) {
+      secs = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out path] [--secs s] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  print_header(
+      "Wire-path batching: loopback pair + 4-node chain throughput",
+      "batched scatter-gather sends + bulk decode vs the legacy "
+      "3-syscalls-per-message path (DESIGN.md §8)");
+  print_row({"topology", "payload", "mode", "msgs/s", "MB/s", "sys/msg"}, 12);
+
+  std::vector<RunResult> results;
+  const std::vector<std::size_t> payloads =
+      smoke ? std::vector<std::size_t>{1024}
+            : std::vector<std::size_t>{64, 1024, 65536};
+  const double window = smoke ? 0.4 : secs;
+  for (const std::size_t hops : {std::size_t{2}, std::size_t{4}}) {
+    if (smoke && hops == 2) continue;
+    for (const std::size_t payload : payloads) {
+      for (const bool batched : {false, true}) {
+        results.push_back(run_case(hops, payload, batched, window));
+        print_result(results.back());
+      }
+    }
+  }
+
+  write_json(out, results);
+
+  const RunResult* legacy = find(results, "chain4", 1024, false);
+  const RunResult* batched = find(results, "chain4", 1024, true);
+  if (legacy != nullptr && batched != nullptr && legacy->msgs_per_sec > 0) {
+    std::printf("chain @ 1 KB: %.2fx msgs/s, syscalls/msg %.3f -> %.3f\n",
+                batched->msgs_per_sec / legacy->msgs_per_sec,
+                legacy->syscalls_per_msg, batched->syscalls_per_msg);
+    if (smoke && batched->syscalls_per_msg >= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: batched path did not beat 1 syscall/message\n");
+      return 1;
+    }
+  }
+  return 0;
+}

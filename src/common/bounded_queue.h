@@ -59,6 +59,48 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking bulk push: moves as many leading elements of `items` as
+  /// fit (one lock, one wake for the lot) and returns how many were
+  /// accepted — 0 when full or closed. Consumed elements are left
+  /// moved-from in `items`.
+  std::size_t try_push_batch(std::vector<T>& items) {
+    std::size_t pushed = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return 0;
+      while (pushed < items.size() && size_ < ring_.size()) {
+        emplace_locked(std::move(items[pushed]));
+        ++pushed;
+      }
+    }
+    notify_popped(not_empty_, pushed);
+    return pushed;
+  }
+
+  /// Blocking bulk push: pushes every element of `items`, sleeping for
+  /// space as needed (full-queue back-pressure applies to batch pushers
+  /// exactly as to push()). Returns the number accepted, which is less
+  /// than items.size() only if the queue was closed mid-batch.
+  std::size_t push_batch(std::vector<T>& items) {
+    std::size_t pushed = 0;
+    while (pushed < items.size()) {
+      std::size_t round = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock,
+                       [&] { return size_ < ring_.size() || closed_; });
+        if (closed_) break;
+        while (pushed < items.size() && size_ < ring_.size()) {
+          emplace_locked(std::move(items[pushed]));
+          ++pushed;
+          ++round;
+        }
+      }
+      notify_popped(not_empty_, round);
+    }
+    return pushed;
+  }
+
   /// Blocks until an element is available (or the queue is closed *and*
   /// drained). Returns nullopt only in the latter case.
   std::optional<T> pop() {
@@ -81,6 +123,48 @@ class BoundedQueue {
     }
     not_full_.notify_one();
     return out;
+  }
+
+  /// Non-blocking bulk pop: appends up to `max` elements to `out` under a
+  /// single lock acquisition and wakes blocked pushers once. Returns the
+  /// number popped (0 when empty).
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t popped = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      popped = drain_locked(out, max);
+    }
+    notify_popped(not_full_, popped);
+    return popped;
+  }
+
+  /// Blocking bulk pop: sleeps until at least one element is available
+  /// (or the queue is closed and drained, returning 0), then appends up
+  /// to `max` elements to `out`. One lock + one wake per batch — the
+  /// sender-thread counterpart of pop().
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t popped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+      popped = drain_locked(out, max);
+    }
+    notify_popped(not_full_, popped);
+    return popped;
+  }
+
+  /// pop_batch with a deadline; returns 0 on timeout as well.
+  std::size_t pop_batch_for(std::vector<T>& out, std::size_t max,
+                            Duration timeout) {
+    std::size_t popped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                          [&] { return size_ > 0 || closed_; });
+      popped = drain_locked(out, max);
+    }
+    notify_popped(not_full_, popped);
+    return popped;
   }
 
   /// Pop with a deadline; returns nullopt on timeout or closed-and-drained.
@@ -127,6 +211,25 @@ class BoundedQueue {
   }
 
  private:
+  std::size_t drain_locked(std::vector<T>& out, std::size_t max) {
+    std::size_t popped = 0;
+    while (popped < max && size_ > 0) {
+      out.push_back(take_locked());
+      ++popped;
+    }
+    return popped;
+  }
+
+  /// One wake for a batch of 1, a broadcast for more (several sleepers
+  /// may now make progress).
+  static void notify_popped(std::condition_variable& cv, std::size_t n) {
+    if (n == 1) {
+      cv.notify_one();
+    } else if (n > 1) {
+      cv.notify_all();
+    }
+  }
+
   void emplace_locked(T&& value) {
     ring_[tail_] = std::move(value);
     tail_ = (tail_ + 1) % ring_.size();

@@ -67,8 +67,34 @@ struct EngineConfig {
   /// auto-tune buffers into the megabytes, which masks back-pressure at
   /// emulated-KB/s rates for a long time; bandwidth-emulation experiments
   /// set this to a 2004-era 64 KB so Fig 6's dynamics converge within
-  /// seconds. 0 leaves the system defaults (maximum raw throughput).
-  int socket_buffer_bytes = 0;
+  /// seconds. 0 leaves the system defaults (auto-tuning).
+  ///
+  /// The default is a locked 256 KB, not 0 (DESIGN.md §8): an explicit
+  /// size locks the buffers (SOCK_RCVBUF_LOCK), exempting them from the
+  /// kernel's window clamp. Under auto-tuning a saturated loopback link
+  /// can hoard a multi-megabyte send buffer, trip that clamp, and shrink
+  /// the peer's receive window below the loopback MSS, collapsing the
+  /// link into RTO-paced retransmission stalls (~100 msgs/s) — a mode
+  /// the batched wire path's 32-message bursts reach readily, stalling
+  /// even control-plane traffic (kBrokenSource behind a clamped
+  /// backlog). 256 KB is the smallest locked size that keeps two
+  /// loopback-MSS segments in flight; smaller locked sizes reintroduce
+  /// the stall from the other side (window below one MSS).
+  int socket_buffer_bytes = 256 * 1024;
+
+  /// Maximum messages a sender thread drains from its buffer and flushes
+  /// to the wire in one scatter-gather batch (DESIGN.md §8). Pacing stays
+  /// per-message: a batch is split and flushed at every throttle boundary,
+  /// so bandwidth emulation is unaffected. 1 restores the per-message
+  /// write path (still a single writev per message).
+  std::size_t wire_batch_msgs = 32;
+
+  /// Receiver threads decode frames in bulk via net::FrameReader (one
+  /// recv syscall yields many messages, payloads are zero-copy slices of
+  /// the chunk). false restores the legacy read_msg path: two recv
+  /// syscalls and one allocation per message. The wire format is
+  /// identical either way, so mixed settings interoperate.
+  bool wire_bulk_reader = true;
 
   /// When set, kTrace output is appended to this local file *instead of*
   /// being sent to the observer ("if the volume of traces becomes large,

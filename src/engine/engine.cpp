@@ -267,9 +267,9 @@ void Engine::adopt_persistent(const NodeId& peer, TcpConn conn) {
     if (self_ < peer) return;  // keep ours; drop the incoming socket
     remove_link(peer);
   }
-  auto link = std::make_unique<PeerLink>(
-      self_, peer, std::move(conn), config_.recv_buffer_msgs,
-      config_.send_buffer_msgs, bandwidth_, *clock_, *this, metrics_);
+  auto link = std::make_unique<PeerLink>(self_, peer, std::move(conn),
+                                         config_, bandwidth_, *clock_, *this,
+                                         metrics_);
   PeerLink* raw = link.get();
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -714,23 +714,29 @@ bool Engine::pump_link_slot(const NodeId& peer) {
     const auto weight_it = switch_weight_.find(peer);
     if (weight_it != switch_weight_.end()) weight = weight_it->second;
   }
-  for (int w = 0; w < weight; ++w) {
-    auto in = link->recv_buffer().try_pop();
-    if (!in) break;
+  // One batch pop per slot visit: up to `weight` messages leave the
+  // receive buffer under a single lock, and every popped message is
+  // processed this round (WRR order is unchanged; the default weight of
+  // 1 makes this identical to the per-message pop).
+  switch_batch_.clear();
+  const std::size_t popped = link->recv_buffer().try_pop_batch(
+      switch_batch_, weight > 0 ? static_cast<std::size_t>(weight) : 0);
+  for (std::size_t w = 0; w < popped; ++w) {
+    Inbound& in = switch_batch_[w];
     // Switch latency (paper Fig. 5): receiver-thread enqueue to switch
     // dequeue, covering the time the message sat in the receive buffer.
     const TimePoint t0 = clock_->now();
-    switch_latency_.observe(to_seconds(t0 - in->enqueued_at));
-    up_apps_[peer].insert(in->msg->app());
+    switch_latency_.observe(to_seconds(t0 - in.enqueued_at));
+    up_apps_[peer].insert(in.msg->app());
     current_outbox_ = &outbox;
-    deliver_to_algorithm(in->msg);
+    deliver_to_algorithm(in.msg);
     current_outbox_ = nullptr;
     switch_process_.observe(to_seconds(clock_->now() - t0));
     switch_msgs_.inc();
     progress = true;
     flush_outbox(outbox);
-    if (!outbox.empty()) break;  // back-pressure: stop draining this slot
   }
+  switch_batch_.clear();
   link->update_queue_gauges();
   return progress;
 }

@@ -231,6 +231,7 @@ class Engine final : public EngineApi, public InternalSink {
   std::unordered_map<NodeId, std::set<u32>> down_apps_;  // peer -> apps sent
   std::set<std::pair<u32, NodeId>> broken_seen_;  // Domino dedup
   std::vector<NodeId> rr_order_;
+  std::vector<Inbound> switch_batch_;  // scratch for pump_link_slot
   std::size_t rr_offset_ = 0;
   bool rr_dirty_ = true;
   Outbox* current_outbox_ = nullptr;

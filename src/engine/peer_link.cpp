@@ -1,5 +1,7 @@
 #include "engine/peer_link.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "obs/metric_names.h"
 
@@ -8,6 +10,13 @@ namespace iov::engine {
 namespace {
 obs::Labels link_labels(const NodeId& peer, const char* dir) {
   return {{"peer", peer.to_string()}, {"dir", dir}};
+}
+
+// Bucket bounds for the flush/refill batch-size histograms (messages per
+// syscall batch, not seconds).
+const std::vector<double>& flush_bounds() {
+  static const std::vector<double> kBounds{1, 2, 4, 8, 16, 32, 64, 128};
+  return kBounds;
 }
 }  // namespace
 
@@ -27,17 +36,19 @@ void InterruptibleSleeper::interrupt() {
 }
 
 PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
-                   std::size_t recv_buf_msgs, std::size_t send_buf_msgs,
-                   BandwidthEmulator& bandwidth, const Clock& clock,
-                   InternalSink& sink, obs::MetricsRegistry& metrics)
+                   const EngineConfig& config, BandwidthEmulator& bandwidth,
+                   const Clock& clock, InternalSink& sink,
+                   obs::MetricsRegistry& metrics)
     : self_(self),
       peer_(peer),
       conn_(std::move(conn)),
+      wire_batch_msgs_(std::max<std::size_t>(config.wire_batch_msgs, 1)),
+      wire_bulk_reader_(config.wire_bulk_reader),
       bandwidth_(bandwidth),
       clock_(clock),
       sink_(sink),
-      recv_buffer_(recv_buf_msgs),
-      send_buffer_(send_buf_msgs),
+      recv_buffer_(config.recv_buffer_msgs),
+      send_buffer_(config.send_buffer_msgs),
       up_bytes_(metrics.counter(obs::names::kLinkBytesTotal,
                                 link_labels(peer, "up"))),
       up_msgs_(metrics.counter(obs::names::kLinkMessagesTotal,
@@ -58,6 +69,16 @@ PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
                                             link_labels(peer, "up"))),
       send_throttle_wait_(metrics.histogram(obs::names::kThrottleWaitSeconds,
                                             link_labels(peer, "down"))),
+      up_syscalls_(metrics.counter(obs::names::kLinkSyscallsTotal,
+                                   link_labels(peer, "up"))),
+      down_syscalls_(metrics.counter(obs::names::kLinkSyscallsTotal,
+                                     link_labels(peer, "down"))),
+      up_flush_msgs_(metrics.histogram(obs::names::kLinkFlushMsgs,
+                                       link_labels(peer, "up"),
+                                       flush_bounds())),
+      down_flush_msgs_(metrics.histogram(obs::names::kLinkFlushMsgs,
+                                         link_labels(peer, "down"),
+                                         flush_bounds())),
       loss_rng_((static_cast<u64>(self.ip()) << 32) ^
                 (static_cast<u64>(peer.ip()) << 16) ^ peer.port()) {
   metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "up"))
@@ -94,9 +115,43 @@ void PeerLink::join() {
 }
 
 void PeerLink::receiver_main() {
+  FrameReader reader(conn_);
+  u64 seen_syscalls = 0;   // reader.syscalls() already accounted
+  u64 refill_msgs = 0;     // frames decoded since the last recv refill
+  std::vector<Inbound> inbound;  // decoded data frames awaiting one push
+  // Hand the accumulated frames to the switch in one queue operation and
+  // one engine wake. A short count means the buffer was closed (teardown).
+  const auto flush_inbound = [&] {
+    if (inbound.empty()) return true;
+    const bool ok = recv_buffer_.push_batch(inbound) == inbound.size();
+    inbound.clear();
+    if (!ok) return false;
+    recv_depth_.set(static_cast<i64>(recv_buffer_.size()));
+    sink_.wake();
+    return true;
+  };
   while (!stopping_.load(std::memory_order_relaxed)) {
-    MsgPtr m = read_msg(conn_);
+    MsgPtr m = wire_bulk_reader_ ? reader.next() : read_msg(conn_);
+    if (wire_bulk_reader_) {
+      const u64 s = reader.syscalls();
+      if (s != seen_syscalls) {
+        // The reader went back to the socket, so the frames decoded since
+        // the previous refill formed one bulk batch.
+        if (refill_msgs > 0) {
+          up_flush_msgs_.observe(static_cast<double>(refill_msgs));
+        }
+        up_syscalls_.inc(s - seen_syscalls);
+        seen_syscalls = s;
+        refill_msgs = 0;
+      }
+      if (m) ++refill_msgs;
+    } else if (m) {
+      // Legacy path: one recv for the header, one for the payload.
+      up_syscalls_.inc(m->payload_size() > 0 ? 2 : 1);
+      up_flush_msgs_.observe(1.0);
+    }
     if (!m) {
+      flush_inbound();  // deliver what already decoded before failing
       if (!stopping_.load(std::memory_order_relaxed)) {
         failed_.store(true, std::memory_order_relaxed);
         sink_.post(Msg::control(MsgType::kPeerFailed, peer_, kControlApp));
@@ -107,75 +162,126 @@ void PeerLink::receiver_main() {
     // Download-side bandwidth emulation: pace before the message becomes
     // visible. While we sleep (or block on a full buffer below) the kernel
     // receive window fills and TCP pushes back on the sender — exactly the
-    // "back pressure" of §2.4.
+    // "back pressure" of §2.4. A non-zero wait is a pacing boundary:
+    // everything decoded so far becomes visible before we sleep, so
+    // batching never delays a message past its emulated arrival time.
     const Duration wait =
         bandwidth_.acquire_recv(peer_, m->wire_size(), clock_.now());
-    if (wait > 0) recv_throttle_wait_.observe_duration(wait);
-    if (!recv_sleeper_.sleep(wait)) return;
+    if (wait > 0) {
+      if (!flush_inbound()) return;
+      recv_throttle_wait_.observe_duration(wait);
+      if (!recv_sleeper_.sleep(wait)) return;
+    }
     up_meter_.record(m->wire_size(), clock_.now());
     up_bytes_.inc(m->wire_size());
     up_msgs_.inc();
 
     if (m->type() == MsgType::kData) {
-      Inbound in{std::move(m), clock_.now()};
-      if (!recv_buffer_.push(std::move(in))) return;  // closed: teardown
-      recv_depth_.set(static_cast<i64>(recv_buffer_.size()));
-      sink_.wake();
+      inbound.push_back(Inbound{std::move(m), clock_.now()});
+      // Keep accumulating only while the reader can hand out more frames
+      // without going back to the socket; flush before any blocking read
+      // so the switch never waits on delivered-but-unpushed messages.
+      if (!wire_bulk_reader_ || inbound.size() >= wire_batch_msgs_ ||
+          !reader.buffered()) {
+        if (!flush_inbound()) return;  // closed: teardown
+      }
     } else {
       // Protocol/control traffic bypasses the data buffers so it cannot be
-      // starved by a congested data plane.
+      // starved by a congested data plane (flush first to preserve arrival
+      // order between the two planes).
+      if (!flush_inbound()) return;
       sink_.post(std::move(m));
     }
   }
+  flush_inbound();
 }
 
 void PeerLink::sender_main() {
-  while (true) {
-    auto m = send_buffer_.pop();
-    if (!m) return;  // closed and drained
+  std::vector<MsgPtr> batch;
+  std::vector<MsgPtr> pending;  // pacing-cleared, awaiting one flush
+  bool running = true;
+  while (running) {
+    batch.clear();
+    if (send_buffer_.pop_batch(batch, wire_batch_msgs_) == 0) break;
     send_depth_.set(static_cast<i64>(send_buffer_.size()));
-    const u32 loss_ppm = send_loss_ppm_.load(std::memory_order_relaxed);
-    if (loss_ppm > 0 && loss_rng_.below(1000000) < loss_ppm) {
-      // Injected wire loss (kSetLoss): the message vanishes before
-      // pacing, accounted like any other sender-side drop.
-      down_meter_.record_loss((*m)->wire_size());
-      down_lost_bytes_.inc((*m)->wire_size());
-      down_lost_msgs_.inc();
-      sink_.wake();
-      continue;
-    }
-    const Duration wait =
-        bandwidth_.acquire_send(peer_, (*m)->wire_size(), clock_.now());
-    if (wait > 0) send_throttle_wait_.observe_duration(wait);
-    if (!send_sleeper_.sleep(wait)) {
-      // Interrupted mid-teardown: account the remaining queue as lost.
-      down_meter_.record_loss((*m)->wire_size());
-      down_lost_bytes_.inc((*m)->wire_size());
-      down_lost_msgs_.inc();
-      break;
-    }
-    if (!write_msg(conn_, **m)) {
-      down_meter_.record_loss((*m)->wire_size());
-      down_lost_bytes_.inc((*m)->wire_size());
-      down_lost_msgs_.inc();
-      if (!stopping_.load(std::memory_order_relaxed)) {
-        failed_.store(true, std::memory_order_relaxed);
-        sink_.post(Msg::control(MsgType::kSendFailed, peer_, kControlApp));
+    pending.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      MsgPtr& m = batch[i];
+      const u32 loss_ppm = send_loss_ppm_.load(std::memory_order_relaxed);
+      if (loss_ppm > 0 && loss_rng_.below(1000000) < loss_ppm) {
+        // Injected wire loss (kSetLoss): the message vanishes before
+        // pacing, accounted like any other sender-side drop.
+        count_send_loss(*m);
+        sink_.wake();
+        continue;
       }
-      break;
+      const Duration wait =
+          bandwidth_.acquire_send(peer_, m->wire_size(), clock_.now());
+      if (wait > 0) {
+        // Pacing boundary: everything accumulated so far cleared the
+        // token bucket with zero wait, so flush it before sleeping.
+        // Batching therefore never shifts a message past its emulated
+        // departure time.
+        if (!flush_pending(pending)) {
+          for (std::size_t j = i; j < batch.size(); ++j) {
+            count_send_loss(*batch[j]);
+          }
+          running = false;
+          break;
+        }
+        send_throttle_wait_.observe_duration(wait);
+        if (!send_sleeper_.sleep(wait)) {
+          // Interrupted mid-teardown: account the remainder as lost.
+          for (std::size_t j = i; j < batch.size(); ++j) {
+            count_send_loss(*batch[j]);
+          }
+          running = false;
+          break;
+        }
+      }
+      pending.push_back(std::move(m));
     }
-    down_meter_.record((*m)->wire_size(), clock_.now());
-    down_bytes_.inc((*m)->wire_size());
-    down_msgs_.inc();
-    sink_.wake();  // switch may have been waiting for sender-buffer space
+    if (running && !flush_pending(pending)) running = false;
   }
   // Drain whatever remains so engine-side pushes never wedge, and count it
   // as loss ("the number of bytes (or messages) lost due to failures").
-  while (auto rest = send_buffer_.try_pop()) {
-    down_meter_.record_loss((*rest)->wire_size());
-    down_lost_bytes_.inc((*rest)->wire_size());
-    down_lost_msgs_.inc();
+  batch.clear();
+  while (send_buffer_.try_pop_batch(batch, wire_batch_msgs_) > 0) {
+    for (const auto& rest : batch) count_send_loss(*rest);
+    batch.clear();
   }
+}
+
+bool PeerLink::flush_pending(std::vector<MsgPtr>& pending) {
+  if (pending.empty()) return true;
+  u64 syscalls = 0;
+  const bool ok = write_batch(conn_, pending.data(), pending.size(), &syscalls);
+  down_syscalls_.inc(syscalls);
+  if (!ok) {
+    for (const auto& m : pending) count_send_loss(*m);
+    pending.clear();
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      failed_.store(true, std::memory_order_relaxed);
+      sink_.post(Msg::control(MsgType::kSendFailed, peer_, kControlApp));
+    }
+    return false;
+  }
+  down_flush_msgs_.observe(static_cast<double>(pending.size()));
+  const TimePoint now = clock_.now();
+  for (const auto& m : pending) {
+    down_meter_.record(m->wire_size(), now);
+    down_bytes_.inc(m->wire_size());
+  }
+  down_msgs_.inc(pending.size());
+  pending.clear();
+  sink_.wake();  // switch may have been waiting for sender-buffer space
+  return true;
+}
+
+void PeerLink::count_send_loss(const Msg& m) {
+  down_meter_.record_loss(m.wire_size());
+  down_lost_bytes_.inc(m.wire_size());
+  down_lost_msgs_.inc();
 }
 
 void PeerLink::set_send_loss(double probability) {

@@ -6,12 +6,15 @@
 // persistent and full duplex ("all the messages between two nodes are
 // carried with the same connection"), both threads share one TCP socket.
 //
-// Data-plane flow:
-//   receiver thread:  socket --read_msg--> [bandwidth recv pacing]
-//                     --> recv buffer (blocking push = back-pressure)
-//   engine thread:    recv buffer --switch/algorithm--> send buffer
-//   sender thread:    send buffer --pop--> [bandwidth send pacing]
-//                     --write_msg--> socket
+// Data-plane flow (batched wire path, DESIGN.md §8):
+//   receiver thread:  socket --FrameReader bulk decode--> per message:
+//                     [bandwidth recv pacing] --> recv buffer
+//                     (blocking push = back-pressure)
+//   engine thread:    recv buffer --batch pop, switch/algorithm--> send
+//                     buffer
+//   sender thread:    send buffer --pop_batch--> per message: [bandwidth
+//                     send pacing, splitting the flush at every throttle
+//                     boundary] --write_batch (scatter-gather)--> socket
 //
 // Control-plane messages received on the link (anything but kData) bypass
 // the buffers and are posted straight to the engine's internal sink —
@@ -25,10 +28,13 @@
 #include <mutex>
 #include <thread>
 
+#include <vector>
+
 #include "common/bounded_queue.h"
 #include "common/clock.h"
 #include "common/node_id.h"
 #include "common/rng.h"
+#include "engine/config.h"
 #include "message/msg.h"
 #include "net/bandwidth.h"
 #include "net/framing.h"
@@ -73,11 +79,11 @@ class InterruptibleSleeper {
 class PeerLink {
  public:
   /// Takes ownership of an established, hello-completed connection.
+  /// `config` supplies buffer capacities and the wire-batching knobs;
   /// `metrics` must outlive the link (the engine owns both).
-  PeerLink(NodeId self, NodeId peer, TcpConn conn, std::size_t recv_buf_msgs,
-           std::size_t send_buf_msgs, BandwidthEmulator& bandwidth,
-           const Clock& clock, InternalSink& sink,
-           obs::MetricsRegistry& metrics);
+  PeerLink(NodeId self, NodeId peer, TcpConn conn, const EngineConfig& config,
+           BandwidthEmulator& bandwidth, const Clock& clock,
+           InternalSink& sink, obs::MetricsRegistry& metrics);
   ~PeerLink();
 
   PeerLink(const PeerLink&) = delete;
@@ -125,9 +131,20 @@ class PeerLink {
   void receiver_main();
   void sender_main();
 
+  /// Scatter-gather flush of the pacing-cleared messages accumulated by
+  /// sender_main; records meters/metrics per message and wakes the
+  /// engine once. Clears `pending`. False on socket error (pending
+  /// counted as lost).
+  bool flush_pending(std::vector<MsgPtr>& pending);
+
+  /// Loss accounting shared by every sender-side drop site.
+  void count_send_loss(const Msg& m);
+
   const NodeId self_;
   const NodeId peer_;
   TcpConn conn_;
+  const std::size_t wire_batch_msgs_;
+  const bool wire_bulk_reader_;
   BandwidthEmulator& bandwidth_;
   const Clock& clock_;
   InternalSink& sink_;
@@ -149,6 +166,10 @@ class PeerLink {
   obs::Gauge& send_depth_;
   obs::Histogram& recv_throttle_wait_;
   obs::Histogram& send_throttle_wait_;
+  obs::Counter& up_syscalls_;    ///< recv syscalls (FrameReader / read_msg)
+  obs::Counter& down_syscalls_;  ///< sendmsg calls issued by flushes
+  obs::Histogram& up_flush_msgs_;    ///< frames decoded per recv refill
+  obs::Histogram& down_flush_msgs_;  ///< messages per scatter-gather flush
 
   InterruptibleSleeper recv_sleeper_;
   InterruptibleSleeper send_sleeper_;

@@ -15,6 +15,16 @@ BufferPtr Buffer::pattern(std::size_t n, u32 seed) {
   return wrap(std::move(bytes));
 }
 
+BufferPtr Buffer::slice(std::shared_ptr<const void> owner, const u8* data,
+                        std::size_t n) {
+  if (n == 0) return empty_buffer();
+  auto out = std::make_shared<Buffer>();
+  out->owner_ = std::move(owner);
+  out->data_ = data;
+  out->size_ = n;
+  return out;
+}
+
 BufferPtr Buffer::empty_buffer() {
   static const BufferPtr kEmpty = std::make_shared<const Buffer>();
   return kEmpty;

@@ -6,6 +6,12 @@
 // receiving socket, through the engine switch, to every outgoing socket.
 // Copy-on-write never happens implicitly; algorithms that need a mutable
 // payload must clone explicitly (Msg::clone_with_payload).
+//
+// A Buffer either owns its bytes (a vector) or is a *slice*: a view into
+// storage kept alive by a shared owner. Slices are how the bulk frame
+// decoder (net::FrameReader) hands out many payloads from one recv'd
+// chunk without a per-message allocation — the chunk stays alive until
+// the last slice referencing it is released.
 #pragma once
 
 #include <cstring>
@@ -24,18 +30,30 @@ using BufferPtr = std::shared_ptr<const Buffer>;
 class Buffer {
  public:
   Buffer() = default;
-  explicit Buffer(std::vector<u8> bytes) : bytes_(std::move(bytes)) {}
+  explicit Buffer(std::vector<u8> bytes)
+      : bytes_(std::move(bytes)), data_(bytes_.data()), size_(bytes_.size()) {}
 
-  const u8* data() const { return bytes_.data(); }
-  std::size_t size() const { return bytes_.size(); }
-  bool empty() const { return bytes_.empty(); }
+  Buffer(const Buffer& other) { assign(other); }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+
+  const u8* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// Payload viewed as text (used by trace and report messages).
   std::string_view view() const {
-    return {reinterpret_cast<const char*>(bytes_.data()), bytes_.size()};
+    return {reinterpret_cast<const char*>(data_), size_};
   }
 
+  /// The owned byte vector. Only meaningful for vector-backed buffers;
+  /// a slice (see below) exposes its bytes through data()/view() only.
   const std::vector<u8>& bytes() const { return bytes_; }
+
+  /// True when this buffer is a view into externally owned storage.
+  bool is_slice() const { return owner_ != nullptr; }
 
   /// Wraps a byte vector (moved) without copying.
   static BufferPtr wrap(std::vector<u8> bytes) {
@@ -54,6 +72,12 @@ class Buffer {
     return copy(s.data(), s.size());
   }
 
+  /// A zero-copy view of `n` bytes at `data`, keeping `owner` alive for
+  /// the buffer's lifetime. `data` must point into storage owned (directly
+  /// or transitively) by `owner` and must stay immutable.
+  static BufferPtr slice(std::shared_ptr<const void> owner, const u8* data,
+                         std::size_t n);
+
   /// A buffer of `n` bytes filled with a deterministic pattern derived
   /// from `seed`; the apps module uses this for payload integrity checks.
   static BufferPtr pattern(std::size_t n, u32 seed);
@@ -62,7 +86,17 @@ class Buffer {
   static BufferPtr empty_buffer();
 
  private:
-  std::vector<u8> bytes_;
+  void assign(const Buffer& other) {
+    bytes_ = other.bytes_;
+    owner_ = other.owner_;
+    data_ = owner_ ? other.data_ : bytes_.data();
+    size_ = other.size_;
+  }
+
+  std::vector<u8> bytes_;              ///< owned storage (empty for slices)
+  std::shared_ptr<const void> owner_;  ///< keepalive for sliced storage
+  const u8* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace iov

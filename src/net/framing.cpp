@@ -1,5 +1,7 @@
 #include "net/framing.h"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "message/codec.h"
@@ -39,10 +41,37 @@ std::optional<Hello> read_hello(TcpConn& conn) {
 }
 
 bool write_msg(TcpConn& conn, const Msg& m) {
-  const auto header = codec::encode_header(m);
-  if (!conn.write_all(header.data(), header.size())) return false;
-  if (m.payload_size() == 0) return true;
-  return conn.write_all(m.payload()->data(), m.payload_size());
+  auto header = codec::encode_header(m);
+  iovec iov[2];
+  iov[0] = {header.data(), header.size()};
+  int iovcnt = 1;
+  if (m.payload_size() > 0) {
+    iov[1] = {const_cast<u8*>(m.payload()->data()), m.payload_size()};
+    iovcnt = 2;
+  }
+  return conn.writev_all(iov, iovcnt);
+}
+
+bool write_batch(TcpConn& conn, const MsgPtr* msgs, std::size_t n,
+                 u64* syscalls) {
+  std::array<codec::HeaderBytes, kMaxWireBatch> headers;
+  std::array<iovec, 2 * kMaxWireBatch> iov;
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t take = std::min(n - done, kMaxWireBatch);
+    int iovcnt = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      const Msg& m = *msgs[done + i];
+      headers[i] = codec::encode_header(m);
+      iov[iovcnt++] = {headers[i].data(), headers[i].size()};
+      if (m.payload_size() > 0) {
+        iov[iovcnt++] = {const_cast<u8*>(m.payload()->data()),
+                         m.payload_size()};
+      }
+    }
+    if (!conn.writev_all(iov.data(), iovcnt, syscalls)) return false;
+    done += take;
+  }
+  return true;
 }
 
 MsgPtr read_msg(TcpConn& conn) {
@@ -59,6 +88,110 @@ MsgPtr read_msg(TcpConn& conn) {
   }
   return std::make_shared<Msg>(header->type, header->origin, header->app,
                                header->seq, std::move(payload));
+}
+
+FrameReader::FrameReader(TcpConn& conn, std::size_t chunk_bytes)
+    : conn_(conn),
+      chunk_bytes_(std::max<std::size_t>(chunk_bytes, 2 * Msg::kHeaderSize)) {}
+
+bool FrameReader::refill() {
+  const std::size_t leftover = available();
+  if (!chunk_) {
+    chunk_ = std::make_shared<std::vector<u8>>(chunk_bytes_);
+  } else if (pos_ == end_ && !chunk_sliced_) {
+    // Fully drained and no payload slice was ever minted from this chunk:
+    // nothing outside this thread has seen the bytes, so rewind and reuse.
+    // A sliced chunk is never rewound — even after every slice is
+    // released, a use_count()==1 observation would not synchronize with
+    // the consumer's reads (no acquire edge from the refcount decrement),
+    // so writing over the bytes would be a data race.
+    pos_ = end_ = 0;
+  } else if (pos_ == end_ || end_ == chunk_->size()) {
+    // Sliced and drained, or tail full: outstanding slices may still
+    // reference the old chunk, so start a fresh one and carry any partial
+    // frame over; the old chunk lives on until its last slice is
+    // released. (Appending past end_ into a sliced chunk stays safe —
+    // slices only ever cover bytes below pos_.)
+    auto fresh = std::make_shared<std::vector<u8>>(chunk_bytes_);
+    std::memcpy(fresh->data(), chunk_->data() + pos_, leftover);
+    chunk_ = std::move(fresh);
+    chunk_sliced_ = false;
+    pos_ = 0;
+    end_ = leftover;
+  }
+  const long n =
+      conn_.read_some(chunk_->data() + end_, chunk_->size() - end_);
+  ++syscalls_;
+  if (n <= 0) return false;  // EOF or socket error
+  end_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+MsgPtr FrameReader::read_large(const codec::Header& header) {
+  // Frame bigger than the chunk: fall back to one dedicated allocation,
+  // seeded with whatever already arrived.
+  std::vector<u8> bytes(header.payload_size);
+  const std::size_t have = std::min(available(), bytes.size());
+  std::memcpy(bytes.data(), chunk_->data() + pos_, have);
+  pos_ += have;
+  std::size_t got = have;
+  while (got < bytes.size()) {
+    const long n = conn_.read_some(bytes.data() + got, bytes.size() - got);
+    ++syscalls_;
+    if (n <= 0) {
+      failed_ = true;
+      return nullptr;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ++msgs_;
+  return std::make_shared<Msg>(header.type, header.origin, header.app,
+                               header.seq, Buffer::wrap(std::move(bytes)));
+}
+
+bool FrameReader::buffered() const {
+  if (failed_) return true;  // next() reports the error without blocking
+  if (available() < Msg::kHeaderSize) return false;
+  const auto header = codec::decode_header(chunk_->data() + pos_);
+  if (!header) return true;  // corrupt: next() fails without a syscall
+  const std::size_t total = Msg::kHeaderSize + header->payload_size;
+  if (total > chunk_bytes_) return false;  // large-frame path needs reads
+  return available() >= total;
+}
+
+MsgPtr FrameReader::next() {
+  while (!failed_) {
+    if (available() < Msg::kHeaderSize) {
+      if (!refill()) break;
+      continue;
+    }
+    const auto header = codec::decode_header(chunk_->data() + pos_);
+    if (!header) {
+      failed_ = corrupt_ = true;
+      break;
+    }
+    const std::size_t total = Msg::kHeaderSize + header->payload_size;
+    if (total > chunk_bytes_) {
+      pos_ += Msg::kHeaderSize;
+      return read_large(*header);
+    }
+    if (available() < total) {
+      if (!refill()) break;
+      continue;
+    }
+    BufferPtr payload = Buffer::empty_buffer();
+    if (header->payload_size > 0) {
+      payload = Buffer::slice(chunk_, chunk_->data() + pos_ + Msg::kHeaderSize,
+                              header->payload_size);
+      chunk_sliced_ = true;
+    }
+    pos_ += total;
+    ++msgs_;
+    return std::make_shared<Msg>(header->type, header->origin, header->app,
+                                 header->seq, std::move(payload));
+  }
+  failed_ = true;
+  return nullptr;
 }
 
 }  // namespace iov

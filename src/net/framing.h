@@ -16,9 +16,12 @@
 // connection itself.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/node_id.h"
+#include "message/codec.h"
 #include "message/msg.h"
 #include "net/socket.h"
 
@@ -46,11 +49,92 @@ bool write_hello(TcpConn& conn, const Hello& hello);
 /// Reads and validates the hello; nullopt on bad magic or socket error.
 std::optional<Hello> read_hello(TcpConn& conn);
 
-/// Writes one framed message (header + payload). False on socket error.
+/// Writes one framed message (header + payload). The two parts go out in
+/// a single scatter-gather syscall, so a header is never its own TCP
+/// segment even with Nagle disabled. False on socket error.
 bool write_msg(TcpConn& conn, const Msg& m);
 
-/// Reads one framed message. nullopt on EOF, socket error, or a corrupt
-/// header.
+/// Messages coalesced into one scatter-gather flush (2 iovecs each).
+constexpr std::size_t kMaxWireBatch = 32;
+
+/// Writes `n` framed messages, coalescing up to kMaxWireBatch of them per
+/// sendmsg call. Byte-identical on the wire to n write_msg() calls, so
+/// batched and unbatched peers interoperate. `syscalls`, when non-null,
+/// accumulates the sendmsg calls issued. False on any socket error (the
+/// stream position is then undefined — the connection must be torn down,
+/// which is what the engine does anyway).
+bool write_batch(TcpConn& conn, const MsgPtr* msgs, std::size_t n,
+                 u64* syscalls = nullptr);
+
+/// Reads one framed message with exact-size reads (two recv syscalls and
+/// one payload allocation per message). nullptr on EOF, socket error, or
+/// a corrupt header. This is the legacy/control-plane path; the data
+/// plane uses FrameReader below.
 MsgPtr read_msg(TcpConn& conn);
+
+/// Bulk frame decoder: recv()s into a reusable chunk buffer, decodes as
+/// many complete frames per syscall as arrived, and hands payloads out as
+/// ref-counted Buffer slices of the chunk — zero per-message allocations
+/// on the hot path. A chunk stays alive until the last payload slice
+/// referencing it is released; the reader only appends to a chunk, never
+/// rewrites bytes a slice may see, so slices are safe to read from other
+/// threads once handed over (the engine's bounded queues provide the
+/// happens-before edge).
+///
+/// Frames larger than the chunk take a fallback path: one dedicated
+/// allocation and exact-size reads, like read_msg.
+///
+/// Wire-format compatible with read_msg: the byte stream is identical,
+/// only the syscall/allocation pattern differs.
+class FrameReader {
+ public:
+  /// Default recv chunk; bounds read-ahead (and thus how far the receiver
+  /// can run ahead of per-message pacing) to one socket buffer's worth.
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit FrameReader(TcpConn& conn,
+                       std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  FrameReader(const FrameReader&) = delete;
+  FrameReader& operator=(const FrameReader&) = delete;
+
+  /// Next decoded message; nullptr on EOF, socket error, or a corrupt
+  /// header (the reader then fails permanently).
+  MsgPtr next();
+
+  /// True when the stream died on a malformed header rather than EOF.
+  bool corrupt() const { return corrupt_; }
+
+  /// True when next() can produce a result (a decoded frame, or the
+  /// pending stream error) from already-buffered bytes alone — i.e. it
+  /// will not issue a recv syscall. Lets callers batch work between
+  /// blocking reads.
+  bool buffered() const;
+
+  /// recv syscalls issued so far (for iov_link_syscalls_total).
+  u64 syscalls() const { return syscalls_; }
+
+  /// Messages decoded so far.
+  u64 msgs() const { return msgs_; }
+
+ private:
+  std::size_t available() const { return end_ - pos_; }
+  bool refill();
+  MsgPtr read_large(const codec::Header& header);
+
+  TcpConn& conn_;
+  const std::size_t chunk_bytes_;
+  std::shared_ptr<std::vector<u8>> chunk_;
+  std::size_t pos_ = 0;  ///< first undecoded byte in *chunk_
+  std::size_t end_ = 0;  ///< one past the last received byte
+  /// Whether a payload slice of the current chunk was ever handed out.
+  /// Once true the chunk is append-only for the rest of its life: refill
+  /// never rewinds it, it is replaced instead (see refill()).
+  bool chunk_sliced_ = false;
+  u64 syscalls_ = 0;
+  u64 msgs_ = 0;
+  bool failed_ = false;
+  bool corrupt_ = false;
+};
 
 }  // namespace iov

@@ -118,6 +118,33 @@ bool TcpConn::write_all(const void* data, std::size_t n) {
   return true;
 }
 
+bool TcpConn::writev_all(struct iovec* iov, int iovcnt, u64* syscalls) {
+  while (iovcnt > 0) {
+    msghdr hdr{};
+    hdr.msg_iov = iov;
+    hdr.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t written = ::sendmsg(fd_.get(), &hdr, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (syscalls != nullptr) ++*syscalls;
+    if (written == 0) return false;
+    // Advance past fully written iovecs, then trim the partial one.
+    std::size_t left = static_cast<std::size_t>(written);
+    while (iovcnt > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && left > 0) {
+      iov->iov_base = static_cast<u8*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
+  }
+  return true;
+}
+
 bool TcpConn::read_all(void* data, std::size_t n) {
   u8* p = static_cast<u8*>(data);
   while (n > 0) {

@@ -8,6 +8,8 @@
 // port in the engine thread; both styles are supported here.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <optional>
 #include <utility>
 
@@ -62,6 +64,13 @@ class TcpConn {
   /// Writes exactly `n` bytes; false on any error (errno preserved).
   /// Retries on EINTR. Never raises SIGPIPE.
   bool write_all(const void* data, std::size_t n);
+
+  /// Scatter-gather write: sends every byte described by `iov[0..iovcnt)`
+  /// in as few syscalls as the kernel allows (one, barring partial
+  /// writes). The iovec array is clobbered while advancing over partial
+  /// writes. `syscalls`, when non-null, is incremented once per sendmsg
+  /// issued. False on any error; retries on EINTR; never raises SIGPIPE.
+  bool writev_all(struct iovec* iov, int iovcnt, u64* syscalls = nullptr);
 
   /// Reads exactly `n` bytes; false on EOF or error.
   bool read_all(void* data, std::size_t n);

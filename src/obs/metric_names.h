@@ -36,6 +36,8 @@ inline constexpr char kLinkLostMessagesTotal[] =
 inline constexpr char kLinkQueueDepth[] = "iov_link_queue_depth";
 inline constexpr char kLinkQueueCapacity[] = "iov_link_queue_capacity";
 inline constexpr char kThrottleWaitSeconds[] = "iov_throttle_wait_seconds";
+inline constexpr char kLinkSyscallsTotal[] = "iov_link_syscalls_total";
+inline constexpr char kLinkFlushMsgs[] = "iov_link_flush_msgs";
 
 // --- Simulator substrate (per-SimNet registry, sim-time) ------------------
 inline constexpr char kSimSwitchLatencySeconds[] =

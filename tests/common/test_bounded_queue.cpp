@@ -144,6 +144,162 @@ TEST(BoundedQueue, StressSpscPreservesSequence) {
   EXPECT_EQ(expected, kCount);
 }
 
+// --- Batch operations (DESIGN.md §8) --------------------------------------
+
+TEST(BoundedQueueBatch, TryPopBatchDrainsInFifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.try_pop_batch(out, 4), 2u);  // appends the remainder
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(q.try_pop_batch(out, 4), 0u);  // empty
+}
+
+TEST(BoundedQueueBatch, FifoAcrossMixedSingleAndBatchOps) {
+  BoundedQueue<int> q(16);
+  std::vector<int> in{0, 1, 2};
+  EXPECT_EQ(q.try_push_batch(in), 3u);
+  ASSERT_TRUE(q.try_push(3));
+  std::vector<int> in2{4, 5};
+  EXPECT_EQ(q.push_batch(in2), 2u);
+  EXPECT_EQ(q.try_pop().value(), 0);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_EQ(q.pop().value(), 5);
+}
+
+TEST(BoundedQueueBatch, TryPushBatchStopsAtCapacity) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(0));
+  std::vector<int> in{1, 2, 3, 4, 5};
+  EXPECT_EQ(q.try_push_batch(in), 3u);  // only 3 slots free
+  EXPECT_TRUE(q.full());
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_batch(out, 10), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BoundedQueueBatch, PopBatchBlocksUntilElement) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    std::vector<int> out;
+    EXPECT_EQ(q.pop_batch(out, 8), 2u);
+    EXPECT_EQ(out, (std::vector<int>{7, 8}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<int> in{7, 8};
+  EXPECT_EQ(q.push_batch(in), 2u);
+  consumer.join();
+}
+
+TEST(BoundedQueueBatch, FullQueueBlocksBatchPusherUntilDrained) {
+  BoundedQueue<int> q(2);
+  std::vector<int> in{0, 1, 2, 3, 4};
+  std::thread producer([&] { EXPECT_EQ(q.push_batch(in), 5u); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.size(), 2u);  // producer blocked on back-pressure
+  int expected = 0;
+  while (expected < 5) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, expected++);
+  }
+  producer.join();
+}
+
+TEST(BoundedQueueBatch, CloseMidBatchPushReturnsShortCount) {
+  BoundedQueue<int> q(2);
+  std::vector<int> in{0, 1, 2, 3};
+  std::thread producer([&] {
+    // Accepts the first 2, then blocks; close() releases it short.
+    EXPECT_LT(q.push_batch(in), 4u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueueBatch, CloseDrainsThenPopBatchReturnsZero) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8), 2u);  // remaining elements still drain
+  EXPECT_EQ(q.pop_batch(out, 8), 0u);  // closed and drained
+  EXPECT_EQ(q.try_pop_batch(out, 8), 0u);
+}
+
+TEST(BoundedQueueBatch, PopBatchForTimesOut) {
+  BoundedQueue<int> q(2);
+  std::vector<int> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_batch_for(out, 4, millis(30)), 0u);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+  q.try_push(9);
+  EXPECT_EQ(q.pop_batch_for(out, 4, millis(30)), 1u);
+  EXPECT_EQ(out, (std::vector<int>{9}));
+}
+
+TEST(BoundedQueueBatch, MoveOnlyElements) {
+  BoundedQueue<std::unique_ptr<int>> q(4);
+  std::vector<std::unique_ptr<int>> in;
+  in.push_back(std::make_unique<int>(1));
+  in.push_back(std::make_unique<int>(2));
+  EXPECT_EQ(q.try_push_batch(in), 2u);
+  std::vector<std::unique_ptr<int>> out;
+  EXPECT_EQ(q.try_pop_batch(out, 4), 2u);
+  EXPECT_EQ(*out[0], 1);
+  EXPECT_EQ(*out[1], 2);
+}
+
+TEST(BoundedQueueBatch, StressBatchProducersAndConsumers) {
+  // Batch pushers against batch poppers through a tiny queue: everything
+  // arrives exactly once (and TSan gets a workout on the batch paths).
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 4000;
+  constexpr int kProducers = 2;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<int> in;
+      for (int i = 0; i < kPerProducer; i += 16) {
+        in.clear();
+        for (int j = i; j < i + 16 && j < kPerProducer; ++j) {
+          in.push_back(p * kPerProducer + j);
+        }
+        ASSERT_EQ(q.push_batch(in), in.size());
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::mutex seen_mu;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> out;
+      while (true) {
+        out.clear();
+        if (q.pop_batch(out, 8) == 0) return;
+        std::lock_guard<std::mutex> lock(seen_mu);
+        seen.insert(seen.end(), out.begin(), out.end());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kPerProducer * kProducers));
+  for (int i = 0; i < kPerProducer * kProducers; ++i) EXPECT_EQ(seen[i], i);
+}
+
 TEST(BoundedQueue, StressMpmcDeliversEverythingOnce) {
   BoundedQueue<int> q(8);
   constexpr int kPerProducer = 5000;

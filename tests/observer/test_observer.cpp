@@ -34,6 +34,12 @@ Node make_node(const NodeId& observer, const NodeId& proxy = NodeId()) {
   config.observer = observer;
   config.report_proxy = proxy;
   config.report_interval = millis(100);
+  // Small locked socket buffers (the fig06 "2004-era" setting): keeps
+  // in-flight kernel inventory tiny so terminate-then-count assertions
+  // settle fast, and locked buffers are exempt from the memory-pressure
+  // window clamp that can stall saturated auto-tuned loopback links
+  // (see EngineConfig::socket_buffer_bytes).
+  config.socket_buffer_bytes = 32 * 1024;
   n.engine = std::make_unique<Engine>(config, std::move(algorithm));
   return n;
 }
