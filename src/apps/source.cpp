@@ -31,8 +31,7 @@ MsgPtr CbrSource::next_message(u32 app, const NodeId& self, TimePoint now) {
     return Msg::data(self, app, static_cast<u32>(n),
                      Buffer::pattern(payload_bytes_, static_cast<u32>(n)));
   }
-  auto base = Buffer::pattern(payload_bytes_, static_cast<u32>(n));
-  std::vector<u8> bytes = base->bytes();
+  auto bytes = Buffer::pattern_bytes(payload_bytes_, static_cast<u32>(n));
   codec::write_u64(bytes.data(), static_cast<u64>(now));
   return Msg::data(self, app, static_cast<u32>(n),
                    Buffer::wrap(std::move(bytes)));

@@ -45,8 +45,7 @@ MsgPtr VideoSource::next_message(u32 app, const NodeId& self, TimePoint now) {
 
   const bool iframe = (next_frame_ % gop_) == 0;
   const std::size_t size = iframe ? iframe_bytes_ : pframe_bytes_;
-  auto base = Buffer::pattern(size, next_frame_);
-  std::vector<u8> bytes = base->bytes();
+  auto bytes = Buffer::pattern_bytes(size, next_frame_);
   codec::write_u64(bytes.data(), static_cast<u64>(now));
   codec::write_u32(bytes.data() + 8, next_frame_);
   bytes[12] = static_cast<u8>(iframe ? FrameType::kIFrame

@@ -96,6 +96,25 @@ struct EngineConfig {
   /// identical either way, so mixed settings interoperate.
   bool wire_bulk_reader = true;
 
+  /// Frames larger than the reader chunk are recv'd directly into
+  /// recycled slabs from the engine's SlabPool — zero payload copies and
+  /// zero per-message payload allocations on the large-frame path
+  /// (DESIGN.md §8; iov_pool_slab_acquires_total tracks hit rate).
+  /// false restores the per-message dedicated allocation, the legacy
+  /// interop baseline. Only meaningful with wire_bulk_reader.
+  bool wire_payload_pool = true;
+
+  /// When > 0, sender flushes that contain a frame with at least this
+  /// many payload bytes are sent with MSG_ZEROCOPY: the kernel transmits
+  /// straight from the message buffers (pinned until the error-queue
+  /// completion is reaped) instead of copying into the socket buffer.
+  /// Worthwhile for ≥16 KB frames on real NICs; loopback always degrades
+  /// to an internal copy (the completion reports it, counted in
+  /// iov_link_zerocopy_copied_total), so the default is off. Falls back
+  /// to plain sends automatically when the kernel lacks SO_ZEROCOPY or
+  /// signals ENOBUFS. Wire bytes are identical either way.
+  std::size_t wire_zerocopy_min_bytes = 0;
+
   /// When set, kTrace output is appended to this local file *instead of*
   /// being sent to the observer ("if the volume of traces becomes large,
   /// it may be more favorable to log them locally at each node, in which

@@ -35,7 +35,14 @@ Engine::Engine(EngineConfig config, std::unique_ptr<Algorithm> algorithm)
       reports_sent_(metrics_.counter(obs::names::kEngineReportsSentTotal)),
       traces_sent_(metrics_.counter(obs::names::kEngineTracesTotal)),
       link_closes_(metrics_.counter(obs::names::kEngineLinkClosesTotal)),
-      link_failures_(metrics_.counter(obs::names::kEngineLinkFailuresTotal)) {}
+      link_failures_(metrics_.counter(obs::names::kEngineLinkFailuresTotal)) {
+  slab_pool_.set_metrics(
+      &metrics_.counter(obs::names::kPoolSlabAcquiresTotal,
+                        {{"result", "hit"}}),
+      &metrics_.counter(obs::names::kPoolSlabAcquiresTotal,
+                        {{"result", "miss"}}),
+      &metrics_.gauge(obs::names::kPoolSlabFreeBytes));
+}
 
 Engine::~Engine() {
   stop();
@@ -267,9 +274,9 @@ void Engine::adopt_persistent(const NodeId& peer, TcpConn conn) {
     if (self_ < peer) return;  // keep ours; drop the incoming socket
     remove_link(peer);
   }
-  auto link = std::make_unique<PeerLink>(self_, peer, std::move(conn),
-                                         config_, bandwidth_, *clock_, *this,
-                                         metrics_);
+  auto link = std::make_unique<PeerLink>(
+      self_, peer, std::move(conn), config_, bandwidth_, *clock_, *this,
+      metrics_, config_.wire_payload_pool ? &slab_pool_ : nullptr);
   PeerLink* raw = link.get();
   {
     std::lock_guard<std::mutex> lock(state_mu_);

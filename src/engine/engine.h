@@ -214,6 +214,11 @@ class Engine final : public EngineApi, public InternalSink {
   TcpListener listener_;
   TimePoint start_time_ = 0;
 
+  /// Recycled large-frame payload slabs shared by every link's receiver
+  /// (DESIGN.md §8). Declared before links_ so it outlives them; the
+  /// slabs themselves may outlive both (shared pool core).
+  SlabPool slab_pool_;
+
   // Links and app registry; state_mu_ guards map *structure* so snapshot()
   // can read from other threads (contents are engine-thread-owned or
   // internally synchronized).

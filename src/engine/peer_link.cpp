@@ -38,12 +38,14 @@ void InterruptibleSleeper::interrupt() {
 PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
                    const EngineConfig& config, BandwidthEmulator& bandwidth,
                    const Clock& clock, InternalSink& sink,
-                   obs::MetricsRegistry& metrics)
+                   obs::MetricsRegistry& metrics, SlabPool* pool)
     : self_(self),
       peer_(peer),
       conn_(std::move(conn)),
       wire_batch_msgs_(std::max<std::size_t>(config.wire_batch_msgs, 1)),
       wire_bulk_reader_(config.wire_bulk_reader),
+      pool_(pool),
+      zerocopy_min_bytes_(config.wire_zerocopy_min_bytes),
       bandwidth_(bandwidth),
       clock_(clock),
       sink_(sink),
@@ -79,6 +81,14 @@ PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
       down_flush_msgs_(metrics.histogram(obs::names::kLinkFlushMsgs,
                                          link_labels(peer, "down"),
                                          flush_bounds())),
+      zc_sends_(metrics.counter(obs::names::kLinkZerocopySendsTotal,
+                                link_labels(peer, "down"))),
+      zc_completions_(metrics.counter(obs::names::kLinkZerocopyCompletionsTotal,
+                                      link_labels(peer, "down"))),
+      zc_copied_(metrics.counter(obs::names::kLinkZerocopyCopiedTotal,
+                                 link_labels(peer, "down"))),
+      zc_fallbacks_(metrics.counter(obs::names::kLinkZerocopyFallbacksTotal,
+                                    link_labels(peer, "down"))),
       loss_rng_((static_cast<u64>(self.ip()) << 32) ^
                 (static_cast<u64>(peer.ip()) << 16) ^ peer.port()) {
   metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "up"))
@@ -115,7 +125,7 @@ void PeerLink::join() {
 }
 
 void PeerLink::receiver_main() {
-  FrameReader reader(conn_);
+  FrameReader reader(conn_, FrameReader::kDefaultChunkBytes, pool_);
   u64 seen_syscalls = 0;   // reader.syscalls() already accounted
   u64 refill_msgs = 0;     // frames decoded since the last recv refill
   std::vector<Inbound> inbound;  // decoded data frames awaiting one push
@@ -197,6 +207,11 @@ void PeerLink::receiver_main() {
 }
 
 void PeerLink::sender_main() {
+  if (zerocopy_min_bytes_ > 0) {
+    // Opt in once; if the kernel refuses, every flush simply stays on the
+    // plain write_batch path.
+    zerocopy_enabled_ = conn_.enable_zerocopy();
+  }
   std::vector<MsgPtr> batch;
   std::vector<MsgPtr> pending;  // pacing-cleared, awaiting one flush
   bool running = true;
@@ -250,13 +265,74 @@ void PeerLink::sender_main() {
     for (const auto& rest : batch) count_send_loss(*rest);
     batch.clear();
   }
+  // Bounded teardown drain of outstanding zerocopy completions: give the
+  // kernel a moment to finish transmitting from our buffers before they
+  // are released. Past the deadline the records are dropped regardless —
+  // the connection is already down, and the kernel holds its own page
+  // references, so freeing early can at worst garble a dead stream's
+  // final bytes, never this process's memory.
+  for (int spins = 0; !zc_inflight_.empty() && spins < 50; ++spins) {
+    reap_zerocopy_completions();
+    if (zc_inflight_.empty()) break;
+    if (!send_sleeper_.sleep(millis(1))) break;
+  }
+  zc_inflight_.clear();
+}
+
+void PeerLink::reap_zerocopy_completions() {
+  if (zc_inflight_.empty()) return;
+  zc_ranges_.clear();
+  if (conn_.reap_zerocopy(zc_ranges_) == 0) return;
+  for (const auto& r : zc_ranges_) {
+    const u32 count = r.hi - r.lo + 1;  // wrapping-safe id arithmetic
+    zc_completions_.inc(count);
+    if (r.copied) zc_copied_.inc(count);
+    // TCP completions arrive in send order, so every record whose last id
+    // is at or below the range's high end is fully transmitted. The
+    // signed-difference compare handles 32-bit id wraparound.
+    while (!zc_inflight_.empty() &&
+           static_cast<i32>(r.hi - zc_inflight_.front().hi) >= 0) {
+      zc_inflight_.pop_front();
+    }
+  }
 }
 
 bool PeerLink::flush_pending(std::vector<MsgPtr>& pending) {
   if (pending.empty()) return true;
+  // Zerocopy is worth the page-pinning bookkeeping only when the flush
+  // actually carries a large frame; small flushes stay on the copy path
+  // (cheaper than a pin + completion round-trip per send).
+  bool use_zc = false;
+  if (zerocopy_enabled_) {
+    for (const auto& m : pending) {
+      if (m->payload_size() >= zerocopy_min_bytes_) {
+        use_zc = true;
+        break;
+      }
+    }
+  }
+  if (use_zc) {
+    reap_zerocopy_completions();
+    // Completions lagging far behind sends means unbounded pinned memory;
+    // pause briefly for the kernel to catch up before pinning more.
+    for (int spins = 0;
+         zc_inflight_.size() >= kZcInFlightWatermark && spins < 100; ++spins) {
+      if (!send_sleeper_.sleep(millis(1))) break;
+      reap_zerocopy_completions();
+    }
+  }
   u64 syscalls = 0;
-  const bool ok = write_batch(conn_, pending.data(), pending.size(), &syscalls);
+  u64 zc_calls = 0;
+  std::vector<codec::HeaderBytes> headers;
+  const bool ok =
+      use_zc ? write_batch_zerocopy(conn_, pending.data(), pending.size(),
+                                    headers, &syscalls, &zc_calls)
+             : write_batch(conn_, pending.data(), pending.size(), &syscalls);
   down_syscalls_.inc(syscalls);
+  if (use_zc) {
+    zc_sends_.inc(zc_calls);
+    if (syscalls > zc_calls) zc_fallbacks_.inc(syscalls - zc_calls);
+  }
   if (!ok) {
     for (const auto& m : pending) count_send_loss(*m);
     pending.clear();
@@ -273,7 +349,22 @@ bool PeerLink::flush_pending(std::vector<MsgPtr>& pending) {
     down_bytes_.inc(m->wire_size());
   }
   down_msgs_.inc(pending.size());
-  pending.clear();
+  if (zc_calls > 0) {
+    // The kernel reads the payload pages and header bytes at transmit
+    // time: park both until the completion ids this flush consumed are
+    // reaped. zc_next_id_ mirrors the kernel's per-socket id counter
+    // (one id per flagged sendmsg, assigned sequentially from 0).
+    ZcInFlight rec;
+    rec.lo = zc_next_id_;
+    rec.hi = zc_next_id_ + static_cast<u32>(zc_calls) - 1;
+    zc_next_id_ += static_cast<u32>(zc_calls);
+    rec.msgs = std::move(pending);
+    rec.headers = std::move(headers);
+    zc_inflight_.push_back(std::move(rec));
+    pending.clear();  // restore the moved-from vector to a known state
+  } else {
+    pending.clear();
+  }
   sink_.wake();  // switch may have been waiting for sender-buffer space
   return true;
 }

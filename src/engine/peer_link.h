@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -80,10 +81,14 @@ class PeerLink {
  public:
   /// Takes ownership of an established, hello-completed connection.
   /// `config` supplies buffer capacities and the wire-batching knobs;
-  /// `metrics` must outlive the link (the engine owns both).
+  /// `metrics` must outlive the link (the engine owns both). `pool`,
+  /// when non-null, serves the receiver's large-frame payload slabs
+  /// (config.wire_payload_pool; the engine owns the pool, which must
+  /// outlive the link).
   PeerLink(NodeId self, NodeId peer, TcpConn conn, const EngineConfig& config,
            BandwidthEmulator& bandwidth, const Clock& clock,
-           InternalSink& sink, obs::MetricsRegistry& metrics);
+           InternalSink& sink, obs::MetricsRegistry& metrics,
+           SlabPool* pool = nullptr);
   ~PeerLink();
 
   PeerLink(const PeerLink&) = delete;
@@ -134,8 +139,16 @@ class PeerLink {
   /// Scatter-gather flush of the pacing-cleared messages accumulated by
   /// sender_main; records meters/metrics per message and wakes the
   /// engine once. Clears `pending`. False on socket error (pending
-  /// counted as lost).
+  /// counted as lost). When the zerocopy path is active and the flush
+  /// contains a frame at or above wire_zerocopy_min_bytes, the flush
+  /// goes out with MSG_ZEROCOPY and the messages + encoded headers are
+  /// retained in zc_inflight_ until their completions are reaped.
   bool flush_pending(std::vector<MsgPtr>& pending);
+
+  /// Drains pending MSG_ZEROCOPY completions from the error queue and
+  /// releases the in-flight records they cover. Sender-thread only;
+  /// best-effort and non-blocking.
+  void reap_zerocopy_completions();
 
   /// Loss accounting shared by every sender-side drop site.
   void count_send_loss(const Msg& m);
@@ -145,6 +158,8 @@ class PeerLink {
   TcpConn conn_;
   const std::size_t wire_batch_msgs_;
   const bool wire_bulk_reader_;
+  SlabPool* const pool_;
+  const std::size_t zerocopy_min_bytes_;
   BandwidthEmulator& bandwidth_;
   const Clock& clock_;
   InternalSink& sink_;
@@ -170,6 +185,28 @@ class PeerLink {
   obs::Counter& down_syscalls_;  ///< sendmsg calls issued by flushes
   obs::Histogram& up_flush_msgs_;    ///< frames decoded per recv refill
   obs::Histogram& down_flush_msgs_;  ///< messages per scatter-gather flush
+  obs::Counter& zc_sends_;        ///< MSG_ZEROCOPY sendmsg calls issued
+  obs::Counter& zc_completions_;  ///< completion ids reaped
+  obs::Counter& zc_copied_;       ///< completions the kernel copied anyway
+  obs::Counter& zc_fallbacks_;    ///< flagged sends demoted to plain sendmsg
+
+  // --- MSG_ZEROCOPY in-flight tracking (sender-thread only) ---------------
+  // The kernel reads the iovec'd pages at transmit time, so each flagged
+  // flush's MsgPtrs *and* encoded headers stay alive here until the
+  // error-queue completion covering their id range is reaped.
+  struct ZcInFlight {
+    u32 lo = 0;  ///< first completion id of the flush (32-bit wrapping)
+    u32 hi = 0;  ///< last completion id of the flush
+    std::vector<MsgPtr> msgs;
+    std::vector<codec::HeaderBytes> headers;
+  };
+  /// In-flight records above which flush_pending pauses to reap before
+  /// sending more (keeps pinned memory bounded when completions lag).
+  static constexpr std::size_t kZcInFlightWatermark = 256;
+  bool zerocopy_enabled_ = false;  ///< SO_ZEROCOPY accepted on this socket
+  u32 zc_next_id_ = 0;            ///< next completion id the kernel assigns
+  std::deque<ZcInFlight> zc_inflight_;
+  std::vector<TcpConn::ZcRange> zc_ranges_;  ///< reap scratch
 
   InterruptibleSleeper recv_sleeper_;
   InterruptibleSleeper send_sleeper_;

@@ -2,7 +2,7 @@
 
 namespace iov {
 
-BufferPtr Buffer::pattern(std::size_t n, u32 seed) {
+std::vector<u8> Buffer::pattern_bytes(std::size_t n, u32 seed) {
   std::vector<u8> bytes(n);
   u32 x = seed * 0x9e3779b9u + 0x85ebca6bu;
   for (std::size_t i = 0; i < n; ++i) {
@@ -12,7 +12,11 @@ BufferPtr Buffer::pattern(std::size_t n, u32 seed) {
     x ^= x << 5;
     bytes[i] = static_cast<u8>(x);
   }
-  return wrap(std::move(bytes));
+  return bytes;
+}
+
+BufferPtr Buffer::pattern(std::size_t n, u32 seed) {
+  return wrap(pattern_bytes(n, seed));
 }
 
 BufferPtr Buffer::slice(std::shared_ptr<const void> owner, const u8* data,

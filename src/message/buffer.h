@@ -39,6 +39,14 @@ class Buffer {
     return *this;
   }
 
+  // Without these, every Buffer "move" silently fell back to the copy
+  // constructor above — a deep copy of the payload vector.
+  Buffer(Buffer&& other) noexcept { steal(std::move(other)); }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) steal(std::move(other));
+    return *this;
+  }
+
   const u8* data() const { return data_; }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -48,9 +56,11 @@ class Buffer {
     return {reinterpret_cast<const char*>(data_), size_};
   }
 
-  /// The owned byte vector. Only meaningful for vector-backed buffers;
-  /// a slice (see below) exposes its bytes through data()/view() only.
-  const std::vector<u8>& bytes() const { return bytes_; }
+  /// The payload as an owned vector — always the viewed bytes, for
+  /// vector-backed buffers and slices alike. (This used to return a
+  /// reference to the owned storage, which is silently *empty* for a
+  /// slice; every caller now gets the bytes it can see via data().)
+  std::vector<u8> bytes() const { return {data_, data_ + size_}; }
 
   /// True when this buffer is a view into externally owned storage.
   bool is_slice() const { return owner_ != nullptr; }
@@ -82,6 +92,11 @@ class Buffer {
   /// from `seed`; the apps module uses this for payload integrity checks.
   static BufferPtr pattern(std::size_t n, u32 seed);
 
+  /// The same pattern as a plain vector, for callers that stamp extra
+  /// fields into the bytes before wrapping (avoids pattern() + a deep
+  /// copy of the freshly built buffer).
+  static std::vector<u8> pattern_bytes(std::size_t n, u32 seed);
+
   /// The shared empty buffer.
   static BufferPtr empty_buffer();
 
@@ -91,6 +106,19 @@ class Buffer {
     owner_ = other.owner_;
     data_ = owner_ ? other.data_ : bytes_.data();
     size_ = other.size_;
+  }
+
+  void steal(Buffer&& other) noexcept {
+    bytes_ = std::move(other.bytes_);
+    owner_ = std::move(other.owner_);
+    // A moved vector keeps its allocation, but recompute data_ anyway so
+    // an empty (inline) vector can't leave a dangling pointer.
+    data_ = owner_ ? other.data_ : bytes_.data();
+    size_ = other.size_;
+    other.bytes_.clear();
+    other.owner_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
   }
 
   std::vector<u8> bytes_;              ///< owned storage (empty for slices)

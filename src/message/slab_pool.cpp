@@ -1,0 +1,95 @@
+#include "message/slab_pool.h"
+
+#include <cassert>
+
+namespace iov {
+
+namespace {
+
+// Smallest power of two >= n, starting at kMinSlabBytes.
+std::size_t round_up_class(std::size_t n) {
+  std::size_t c = SlabPool::kMinSlabBytes;
+  std::size_t idx = 0;
+  while (c < n) {
+    c <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::size_t SlabPool::class_for(std::size_t n) {
+  assert(n <= kMaxSlabBytes && "request exceeds the largest slab class");
+  const std::size_t idx = round_up_class(n);
+  return idx < kClasses ? idx : kClasses - 1;
+}
+
+std::size_t SlabPool::class_bytes(std::size_t idx) {
+  return kMinSlabBytes << idx;
+}
+
+SlabPool::SlabPool() : core_(std::make_shared<Core>()) {
+  static_assert((kMinSlabBytes << (kClasses - 1)) == kMaxSlabBytes,
+                "class ladder must end exactly at kMaxSlabBytes");
+}
+
+void SlabPool::set_metrics(obs::Counter* hits, obs::Counter* misses,
+                           obs::Gauge* free_bytes) {
+  core_->hit_counter.store(hits, std::memory_order_relaxed);
+  core_->miss_counter.store(misses, std::memory_order_relaxed);
+  core_->free_gauge.store(free_bytes, std::memory_order_relaxed);
+}
+
+SlabPtr SlabPool::acquire(std::size_t n) {
+  const std::size_t idx = class_for(n);
+  Core::ClassList& cl = core_->classes[idx];
+  std::unique_ptr<Slab> slab;
+  {
+    std::lock_guard<std::mutex> lock(cl.mu);
+    if (!cl.free.empty()) {
+      slab = std::move(cl.free.back());
+      cl.free.pop_back();
+    }
+  }
+  if (slab) {
+    core_->hits.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = core_->hit_counter.load(std::memory_order_relaxed)) {
+      c->inc();
+    }
+    const std::size_t fb = core_->free_bytes.fetch_sub(
+        slab->capacity(), std::memory_order_relaxed);
+    if (auto* g = core_->free_gauge.load(std::memory_order_relaxed)) {
+      g->set(static_cast<i64>(fb - slab->capacity()));
+    }
+  } else {
+    slab = std::make_unique<Slab>(class_bytes(idx), idx);
+    core_->misses.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = core_->miss_counter.load(std::memory_order_relaxed)) {
+      c->inc();
+    }
+  }
+  // The deleter owns a reference to the core, so releasing a slab after
+  // the SlabPool object is destroyed still finds the freelists alive.
+  auto core = core_;
+  return SlabPtr(slab.release(), [core](Slab* raw) {
+    core->release(std::unique_ptr<Slab>(raw));
+  });
+}
+
+void SlabPool::Core::release(std::unique_ptr<Slab> slab) {
+  ClassList& cl = classes[slab->class_idx()];
+  const std::size_t cap = slab->capacity();
+  {
+    std::lock_guard<std::mutex> lock(cl.mu);
+    if (cl.free.size() >= kMaxFreePerClass) return;  // unlock, then free
+    cl.free.push_back(std::move(slab));
+  }
+  const std::size_t fb =
+      free_bytes.fetch_add(cap, std::memory_order_relaxed) + cap;
+  if (auto* g = free_gauge.load(std::memory_order_relaxed)) {
+    g->set(static_cast<i64>(fb));
+  }
+}
+
+}  // namespace iov

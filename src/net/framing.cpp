@@ -74,6 +74,32 @@ bool write_batch(TcpConn& conn, const MsgPtr* msgs, std::size_t n,
   return true;
 }
 
+bool write_batch_zerocopy(TcpConn& conn, const MsgPtr* msgs, std::size_t n,
+                          std::vector<codec::HeaderBytes>& headers,
+                          u64* syscalls, u64* zc_calls) {
+  headers.resize(n);
+  std::array<iovec, 2 * kMaxWireBatch> iov;
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t take = std::min(n - done, kMaxWireBatch);
+    int iovcnt = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      const Msg& m = *msgs[done + i];
+      headers[done + i] = codec::encode_header(m);
+      iov[iovcnt++] = {headers[done + i].data(), headers[done + i].size()};
+      if (m.payload_size() > 0) {
+        iov[iovcnt++] = {const_cast<u8*>(m.payload()->data()),
+                         m.payload_size()};
+      }
+    }
+    if (!conn.writev_all(iov.data(), iovcnt, syscalls, /*zerocopy=*/true,
+                         zc_calls)) {
+      return false;
+    }
+    done += take;
+  }
+  return true;
+}
+
 MsgPtr read_msg(TcpConn& conn) {
   u8 header_bytes[Msg::kHeaderSize];
   if (!conn.read_all(header_bytes, sizeof(header_bytes))) return nullptr;
@@ -90,11 +116,13 @@ MsgPtr read_msg(TcpConn& conn) {
                                header->seq, std::move(payload));
 }
 
-FrameReader::FrameReader(TcpConn& conn, std::size_t chunk_bytes)
+FrameReader::FrameReader(TcpConn& conn, std::size_t chunk_bytes,
+                         SlabPool* pool)
     : conn_(conn),
-      chunk_bytes_(std::max<std::size_t>(chunk_bytes, 2 * Msg::kHeaderSize)) {}
+      chunk_bytes_(std::max<std::size_t>(chunk_bytes, 2 * Msg::kHeaderSize)),
+      pool_(pool) {}
 
-bool FrameReader::refill() {
+bool FrameReader::refill(std::size_t cap) {
   const std::size_t leftover = available();
   if (!chunk_) {
     chunk_ = std::make_shared<std::vector<u8>>(chunk_bytes_);
@@ -119,8 +147,8 @@ bool FrameReader::refill() {
     pos_ = 0;
     end_ = leftover;
   }
-  const long n =
-      conn_.read_some(chunk_->data() + end_, chunk_->size() - end_);
+  const long n = conn_.read_some(chunk_->data() + end_,
+                                 std::min(chunk_->size() - end_, cap));
   ++syscalls_;
   if (n <= 0) return false;  // EOF or socket error
   end_ += static_cast<std::size_t>(n);
@@ -128,15 +156,32 @@ bool FrameReader::refill() {
 }
 
 MsgPtr FrameReader::read_large(const codec::Header& header) {
-  // Frame bigger than the chunk: fall back to one dedicated allocation,
-  // seeded with whatever already arrived.
-  std::vector<u8> bytes(header.payload_size);
-  const std::size_t have = std::min(available(), bytes.size());
-  std::memcpy(bytes.data(), chunk_->data() + pos_, have);
-  pos_ += have;
+  // Frame bigger than the chunk: recv the payload directly into a
+  // payload-sized destination — a recycled pool slab when available
+  // (zero per-message payload allocation, no zero-fill), else one
+  // dedicated vector. Any payload bytes the chunk already holds are
+  // seeded with one memcpy; in the steady large-frame state the
+  // expect_large_ exact-header reads keep that seed empty, so the
+  // payload is never copied at all.
+  const std::size_t size = header.payload_size;
+  SlabPtr slab;
+  std::vector<u8> bytes;
+  u8* dst = nullptr;
+  if (pool_ != nullptr) {
+    slab = pool_->acquire(size);
+    dst = slab->data();
+  } else {
+    bytes.resize(size);
+    dst = bytes.data();
+  }
+  const std::size_t have = std::min(available(), size);
+  if (have > 0) {
+    std::memcpy(dst, chunk_->data() + pos_, have);
+    pos_ += have;
+  }
   std::size_t got = have;
-  while (got < bytes.size()) {
-    const long n = conn_.read_some(bytes.data() + got, bytes.size() - got);
+  while (got < size) {
+    const long n = conn_.read_some(dst + got, size - got);
     ++syscalls_;
     if (n <= 0) {
       failed_ = true;
@@ -145,8 +190,11 @@ MsgPtr FrameReader::read_large(const codec::Header& header) {
     got += static_cast<std::size_t>(n);
   }
   ++msgs_;
+  expect_large_ = true;
+  BufferPtr payload = slab ? Buffer::slice(slab, slab->data(), size)
+                           : Buffer::wrap(std::move(bytes));
   return std::make_shared<Msg>(header.type, header.origin, header.app,
-                               header.seq, Buffer::wrap(std::move(bytes)));
+                               header.seq, std::move(payload));
 }
 
 bool FrameReader::buffered() const {
@@ -162,7 +210,15 @@ bool FrameReader::buffered() const {
 MsgPtr FrameReader::next() {
   while (!failed_) {
     if (available() < Msg::kHeaderSize) {
-      if (!refill()) break;
+      // After a large frame, read the next header *exactly*: a greedy
+      // chunk fill would slurp the following (likely large) payload
+      // into the chunk, forcing read_large to memcpy it back out. If
+      // the guess is wrong the next frame is small and costs one extra
+      // bounded recv before normal bulk filling resumes.
+      if (!refill(expect_large_ ? Msg::kHeaderSize - available()
+                                : static_cast<std::size_t>(-1))) {
+        break;
+      }
       continue;
     }
     const auto header = codec::decode_header(chunk_->data() + pos_);
@@ -175,6 +231,7 @@ MsgPtr FrameReader::next() {
       pos_ += Msg::kHeaderSize;
       return read_large(*header);
     }
+    expect_large_ = false;
     if (available() < total) {
       if (!refill()) break;
       continue;

@@ -23,6 +23,7 @@
 #include "common/node_id.h"
 #include "message/codec.h"
 #include "message/msg.h"
+#include "message/slab_pool.h"
 #include "net/socket.h"
 
 namespace iov {
@@ -66,6 +67,20 @@ constexpr std::size_t kMaxWireBatch = 32;
 bool write_batch(TcpConn& conn, const MsgPtr* msgs, std::size_t n,
                  u64* syscalls = nullptr);
 
+/// MSG_ZEROCOPY variant of write_batch (byte-identical on the wire).
+/// The kernel reads the referenced pages at *transmit* time, not at
+/// sendmsg time, so everything the iovecs point at must stay alive
+/// until the completions are reaped: the payloads (keep the MsgPtrs)
+/// and the encoded headers — which is why `headers` is caller-owned
+/// storage, resized and filled here, to be retained alongside the
+/// MsgPtrs in the in-flight record. `zc_calls` accumulates the number
+/// of completion ids the kernel assigned (one per flagged sendmsg; see
+/// TcpConn::reap_zerocopy). ENOBUFS falls back to plain sends
+/// mid-write, so some calls may consume fewer ids than syscalls.
+bool write_batch_zerocopy(TcpConn& conn, const MsgPtr* msgs, std::size_t n,
+                          std::vector<codec::HeaderBytes>& headers,
+                          u64* syscalls = nullptr, u64* zc_calls = nullptr);
+
 /// Reads one framed message with exact-size reads (two recv syscalls and
 /// one payload allocation per message). nullptr on EOF, socket error, or
 /// a corrupt header. This is the legacy/control-plane path; the data
@@ -81,8 +96,16 @@ MsgPtr read_msg(TcpConn& conn);
 /// threads once handed over (the engine's bounded queues provide the
 /// happens-before edge).
 ///
-/// Frames larger than the chunk take a fallback path: one dedicated
-/// allocation and exact-size reads, like read_msg.
+/// Frames larger than the chunk take the large-frame path: the payload
+/// is recv'd *directly* into a payload-sized destination — a recycled
+/// slab from the SlabPool when one was supplied (zero copy, zero
+/// per-message payload allocation; the slab returns to the pool when
+/// the last Buffer slice referencing it is released), or a dedicated
+/// vector otherwise (the legacy fallback). After a large frame the
+/// reader expects another one and reads the next header *exactly*
+/// (never slurping payload bytes into the chunk), so a steady stream of
+/// large frames is decoded without ever copying a payload byte; the
+/// guess costs one small extra recv when the stream turns small again.
 ///
 /// Wire-format compatible with read_msg: the byte stream is identical,
 /// only the syscall/allocation pattern differs.
@@ -92,8 +115,11 @@ class FrameReader {
   /// can run ahead of per-message pacing) to one socket buffer's worth.
   static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
 
+  /// `pool`, when non-null, serves the large-frame payload slabs and
+  /// must outlive the reader (the slabs themselves may outlive both).
   explicit FrameReader(TcpConn& conn,
-                       std::size_t chunk_bytes = kDefaultChunkBytes);
+                       std::size_t chunk_bytes = kDefaultChunkBytes,
+                       SlabPool* pool = nullptr);
 
   FrameReader(const FrameReader&) = delete;
   FrameReader& operator=(const FrameReader&) = delete;
@@ -119,11 +145,14 @@ class FrameReader {
 
  private:
   std::size_t available() const { return end_ - pos_; }
-  bool refill();
+  /// Reads more bytes into the chunk; recvs at most `cap` bytes (the
+  /// default is "fill the chunk").
+  bool refill(std::size_t cap = static_cast<std::size_t>(-1));
   MsgPtr read_large(const codec::Header& header);
 
   TcpConn& conn_;
   const std::size_t chunk_bytes_;
+  SlabPool* const pool_;
   std::shared_ptr<std::vector<u8>> chunk_;
   std::size_t pos_ = 0;  ///< first undecoded byte in *chunk_
   std::size_t end_ = 0;  ///< one past the last received byte
@@ -131,6 +160,10 @@ class FrameReader {
   /// Once true the chunk is append-only for the rest of its life: refill
   /// never rewinds it, it is replaced instead (see refill()).
   bool chunk_sliced_ = false;
+  /// The previous frame exceeded the chunk: read the next header exactly
+  /// instead of bulk-filling the chunk, so the payload that likely
+  /// follows can be recv'd straight into its slab with no seed copy.
+  bool expect_large_ = false;
   u64 syscalls_ = 0;
   u64 msgs_ = 0;
   bool failed_ = false;

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/node_id.h"
 #include "common/types.h"
@@ -70,7 +71,41 @@ class TcpConn {
   /// writes). The iovec array is clobbered while advancing over partial
   /// writes. `syscalls`, when non-null, is incremented once per sendmsg
   /// issued. False on any error; retries on EINTR; never raises SIGPIPE.
-  bool writev_all(struct iovec* iov, int iovcnt, u64* syscalls = nullptr);
+  ///
+  /// `zerocopy`, when true, sends with MSG_ZEROCOPY (the caller must
+  /// have called enable_zerocopy() and must keep every referenced byte
+  /// alive until the matching completions are reaped — see
+  /// reap_zerocopy). `zc_calls`, when non-null, is incremented once per
+  /// sendmsg that actually carried the flag: that is exactly the number
+  /// of completion ids the kernel assigned to this write. If the kernel
+  /// refuses a zerocopy send with ENOBUFS (optmem pressure), the write
+  /// falls back to plain sendmsg for the rest of this call — automatic,
+  /// not an error.
+  bool writev_all(struct iovec* iov, int iovcnt, u64* syscalls = nullptr,
+                  bool zerocopy = false, u64* zc_calls = nullptr);
+
+  /// Opts the socket into MSG_ZEROCOPY sends (SO_ZEROCOPY). False when
+  /// the kernel or socket type does not support it; callers then simply
+  /// keep using plain sends.
+  bool enable_zerocopy();
+
+  /// One MSG_ZEROCOPY completion range from the socket error queue:
+  /// sends `lo..hi` (inclusive, in the order writev_all issued them,
+  /// 32-bit wrapping) have left the kernel; the bytes they referenced
+  /// may be reused. `copied` reports that the kernel fell back to
+  /// copying (loopback always does) — correct either way, just not a
+  /// true zero-copy transmit.
+  struct ZcRange {
+    u32 lo = 0;
+    u32 hi = 0;
+    bool copied = false;
+  };
+
+  /// Drains every pending zerocopy completion without blocking,
+  /// appending to `out`. Returns the number of ranges appended (0 when
+  /// the error queue is empty or on any error — reaping is best-effort;
+  /// teardown bounds it with a deadline, not with error handling).
+  std::size_t reap_zerocopy(std::vector<ZcRange>& out);
 
   /// Reads exactly `n` bytes; false on EOF or error.
   bool read_all(void* data, std::size_t n);

@@ -187,6 +187,152 @@ TEST(FrameReader, LargeFrameFallsBackToDedicatedAllocation) {
   writer.join();
 }
 
+// --- Large-frame edges: chunk-size boundaries, pooled slabs ---------------
+
+TEST(FrameReader, FrameExactlyAtChunkSizeStaysOnSlicePath) {
+  auto pair = make_pair();
+  // total = 24 + 232 = 256 == chunk: not *larger* than the chunk, so the
+  // frame must decode as a chunk slice, not via read_large.
+  const auto at = make_msgs(1, 256 - Msg::kHeaderSize);
+  const auto after = make_msgs(1, 32);
+  std::thread writer([&] {
+    EXPECT_TRUE(write_msg(pair.client, *at[0]));
+    EXPECT_TRUE(write_msg(pair.client, *after[0]));
+  });
+  SlabPool pool;
+  FrameReader reader(pair.server, 256, &pool);
+  MsgPtr got = reader.next();
+  expect_same_payload(got, at[0]);
+  EXPECT_TRUE(got->payload()->is_slice());
+  EXPECT_EQ(pool.hits() + pool.misses(), 0u);  // pool never consulted
+  expect_same_payload(reader.next(), after[0]);
+  writer.join();
+}
+
+TEST(FrameReader, FrameOneByteOverChunkTakesThePooledLargePath) {
+  auto pair = make_pair();
+  const auto over = make_msgs(1, 256 - Msg::kHeaderSize + 1);
+  std::thread writer(
+      [&] { EXPECT_TRUE(write_msg(pair.client, *over[0])); });
+  SlabPool pool;
+  FrameReader reader(pair.server, 256, &pool);
+  MsgPtr got = reader.next();
+  expect_same_payload(got, over[0]);
+  EXPECT_TRUE(got->payload()->is_slice());  // slab-backed view
+  EXPECT_EQ(pool.misses(), 1u);
+  writer.join();
+}
+
+TEST(FrameReader, LargeHeaderStraddlingSlicedChunkCarryOver) {
+  auto pair = make_pair();
+  // A 220-byte-payload frame occupies 244 of the 256-byte chunk; the
+  // following large frame's header straddles the boundary: 12 bytes land
+  // in the (already sliced) chunk tail, the rest arrives after the
+  // fresh-chunk carry-over. The large payload must still decode intact.
+  const auto small = make_msgs(1, 220);
+  const auto big = make_msgs(1, 1000);
+  std::thread writer([&] {
+    EXPECT_TRUE(write_msg(pair.client, *small[0]));
+    EXPECT_TRUE(write_msg(pair.client, *big[0]));
+  });
+  SlabPool pool;
+  FrameReader reader(pair.server, 256, &pool);
+  MsgPtr got_small = reader.next();
+  expect_same_payload(got_small, small[0]);
+  EXPECT_TRUE(got_small->payload()->is_slice());
+  MsgPtr got_big = reader.next();
+  expect_same_payload(got_big, big[0]);
+  // The sliced small payload must stay intact after the carry-over.
+  expect_same_payload(got_small, small[0]);
+  writer.join();
+}
+
+TEST(FrameReader, LargeFramesInterleavedWithSlicedSmallFrames) {
+  auto pair = make_pair();
+  std::vector<MsgPtr> msgs;
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto batch = make_msgs(1, i % 2 == 0 ? 100 : 1000);
+    msgs.push_back(batch[0]);
+  }
+  std::thread writer([&] {
+    for (const auto& m : msgs) EXPECT_TRUE(write_msg(pair.client, *m));
+  });
+  SlabPool pool;
+  FrameReader reader(pair.server, 256, &pool);
+  std::vector<MsgPtr> got;  // hold all payloads live across the stream
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    got.push_back(reader.next());
+    ASSERT_NE(got.back(), nullptr) << "frame " << i;
+  }
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    expect_same_payload(got[i], msgs[i]);
+    EXPECT_TRUE(got[i]->payload()->is_slice());
+  }
+  // All five large frames were pool-served; with every payload held live,
+  // no slab could recycle, so each acquire was a miss.
+  EXPECT_EQ(pool.hits() + pool.misses(), 5u);
+  // Releasing the payloads returns every slab to the freelist.
+  got.clear();
+  EXPECT_EQ(pool.free_bytes(), 5u * SlabPool::kMinSlabBytes);
+  writer.join();
+}
+
+TEST(FrameReader, SteadyLargeStreamRecyclesOneSlab) {
+  auto pair = make_pair();
+  const auto msgs = make_msgs(20, 1000);
+  std::thread writer([&] {
+    for (const auto& m : msgs) EXPECT_TRUE(write_msg(pair.client, *m));
+  });
+  SlabPool pool;
+  FrameReader reader(pair.server, 256, &pool);
+  for (const auto& want : msgs) {
+    // Release each payload before reading the next — the steady state of
+    // a switch that forwards and drops its reference.
+    expect_same_payload(reader.next(), want);
+  }
+  EXPECT_EQ(pool.misses(), 1u);  // one allocation for the whole stream
+  EXPECT_EQ(pool.hits(), 19u);
+  writer.join();
+}
+
+TEST(FrameReader, PooledAndLegacyReadersDecodeTheSameStream) {
+  // Same byte stream into a pooled reader and a pool-less reader: the
+  // pooled fast path may not change a single decoded bit.
+  const auto msgs = make_msgs(6, 700);
+  for (const bool pooled : {true, false}) {
+    auto pair = make_pair();
+    std::thread writer([&] {
+      EXPECT_TRUE(write_batch(pair.client, msgs.data(), msgs.size()));
+    });
+    SlabPool pool;
+    FrameReader reader(pair.server, 256, pooled ? &pool : nullptr);
+    for (const auto& want : msgs) {
+      MsgPtr got = reader.next();
+      expect_same_payload(got, want);
+      EXPECT_EQ(got->payload()->is_slice(), pooled);
+    }
+    writer.join();
+  }
+}
+
+TEST(FrameReader, PooledPayloadOutlivesReaderAndPool) {
+  auto pair = make_pair();
+  const auto msgs = make_msgs(1, 2000);
+  std::thread writer(
+      [&] { EXPECT_TRUE(write_msg(pair.client, *msgs[0])); });
+  MsgPtr got;
+  {
+    SlabPool pool;
+    {
+      FrameReader reader(pair.server, 256, &pool);
+      got = reader.next();
+      ASSERT_NE(got, nullptr);
+    }  // reader destroyed
+  }  // pool destroyed; the slab-backed payload must stay valid
+  expect_same_payload(got, msgs[0]);
+  writer.join();
+}
+
 // --- Robustness: corruption and truncation, both readers ------------------
 
 // A header whose payload_size field exceeds Msg::kMaxPayload.
