@@ -1,0 +1,238 @@
+// Flash-crowd streaming churn under increasing churn rates (the
+// scenario tier's headline numbers): the same seeded flash-crowd
+// workload is run on the deterministic simulator at three session-length
+// tiers — long sessions (gentle churn) down to short sessions (viewers
+// churning several times inside the horizon) — and the per-viewer
+// continuity accounting is reported the way a streaming operator would
+// read it: rejoin-latency percentiles, stream-gap seconds, and the
+// tree-shape (depth / degree / orphan) curves over the run.
+//
+// Emits a JSON artifact (default BENCH_streaming.json) with one entry
+// per churn rate: schedule composition, rejoin p50/p90/p99, first-packet
+// percentiles, gap-second aggregates, and the sampled shape curves.
+//
+// Flags:
+//   --out <path>   JSON output path (default BENCH_streaming.json)
+//   --smoke        small/fast CI variant (~10 s): fewer viewers, shorter
+//                  horizon; exits non-zero if any churn rate leaves a
+//                  permanent orphan behind, delivers no frames, or loses
+//                  a rejoin entirely — the recovery guarantees the
+//                  scenario tier exists to defend.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "scenario/streaming_churn.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+using scenario::StreamingChurnConfig;
+using scenario::StreamingChurnResult;
+
+struct RateResult {
+  std::string label;
+  double mean_session_seconds = 0;
+  std::size_t viewers = 0;
+  std::size_t joins = 0;
+  std::size_t drops = 0;
+  std::size_t departs = 0;
+  double events_per_viewer_minute = 0;
+  u64 frames = 0;
+  std::size_t orphans = 0;
+  std::size_t unrecovered_drops = 0;
+  std::size_t rejoins = 0;
+  double rejoin_p50 = 0, rejoin_p90 = 0, rejoin_p99 = 0;
+  double first_packet_p50 = 0, first_packet_p90 = 0;
+  double gap_total = 0, gap_mean = 0, gap_max = 0;
+  StreamingChurnResult result;  // shape curves serialized from here
+};
+
+RateResult run_rate(const char* label, double mean_session, bool smoke,
+                    u64 seed) {
+  StreamingChurnConfig config;
+  config.churn.viewers = smoke ? 150 : 2000;
+  config.churn.seed = seed;
+  config.churn.waves = 3;
+  config.churn.wave_spacing = smoke ? seconds(3.0) : seconds(6.0);
+  config.churn.wave_spread = seconds(2.0);
+  config.churn.mean_session_seconds = mean_session;
+  config.churn.depart_fraction = 0.3;
+  config.churn.correlated_fraction = 0.2;
+  config.churn.shocks = 2;
+  config.churn.horizon = smoke ? seconds(10.0) : seconds(24.0);
+  config.fps = 1.0;
+  config.settle = smoke ? seconds(6.0) : seconds(8.0);
+
+  RateResult r;
+  r.label = label;
+  r.mean_session_seconds = mean_session;
+  r.viewers = config.churn.viewers;
+  r.result = scenario::run_sim_streaming_churn(config);
+  const auto& result = r.result;
+
+  r.joins = result.schedule.count(scenario::ChurnAction::kJoin);
+  r.drops = result.schedule.count(scenario::ChurnAction::kDrop);
+  r.departs = result.schedule.count(scenario::ChurnAction::kDepart);
+  r.events_per_viewer_minute =
+      static_cast<double>(result.schedule.events.size()) /
+      static_cast<double>(config.churn.viewers) /
+      (to_seconds(config.churn.horizon) / 60.0);
+  r.frames = result.frames_delivered();
+  r.orphans = result.permanent_orphans();
+
+  EmpiricalCdf rejoin, first_packet;
+  double gap_total = 0;
+  for (const auto& v : result.viewers) {
+    rejoin.add_all(v.continuity.rejoin_latencies);
+    r.rejoins += v.continuity.rejoin_latencies.size();
+    r.unrecovered_drops += v.continuity.unrecovered_drops;
+    if (v.continuity.first_packet_latency >= 0) {
+      first_packet.add(v.continuity.first_packet_latency);
+    }
+    gap_total += v.continuity.gap_seconds;
+  }
+  if (r.rejoins > 0) {
+    r.rejoin_p50 = rejoin.quantile(0.50);
+    r.rejoin_p90 = rejoin.quantile(0.90);
+    r.rejoin_p99 = rejoin.quantile(0.99);
+  }
+  r.first_packet_p50 = first_packet.quantile(0.50);
+  r.first_packet_p90 = first_packet.quantile(0.90);
+  r.gap_total = gap_total;
+  r.gap_mean = gap_total / static_cast<double>(config.churn.viewers);
+  r.gap_max = result.max_gap_seconds();
+  return r;
+}
+
+void write_json(const std::string& path,
+                const std::vector<RateResult>& rates) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"streaming\",\n  \"rates\": [\n");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& r = rates[i];
+    std::fprintf(
+        f,
+        "    {\"rate\": \"%s\", \"mean_session_seconds\": %.1f, "
+        "\"viewers\": %zu,\n"
+        "     \"joins\": %zu, \"drops\": %zu, \"departs\": %zu, "
+        "\"events_per_viewer_minute\": %.3f,\n"
+        "     \"frames_delivered\": %llu, \"permanent_orphans\": %zu, "
+        "\"unrecovered_drops\": %zu,\n"
+        "     \"rejoins\": %zu, \"rejoin_seconds\": "
+        "{\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f},\n"
+        "     \"first_packet_seconds\": {\"p50\": %.3f, \"p90\": %.3f},\n"
+        "     \"gap_seconds\": {\"total\": %.3f, \"mean_per_viewer\": %.4f, "
+        "\"max\": %.3f},\n",
+        r.label.c_str(), r.mean_session_seconds, r.viewers, r.joins, r.drops,
+        r.departs, r.events_per_viewer_minute,
+        static_cast<unsigned long long>(r.frames), r.orphans,
+        r.unrecovered_drops, r.rejoins, r.rejoin_p50, r.rejoin_p90,
+        r.rejoin_p99, r.first_packet_p50, r.first_packet_p90, r.gap_total,
+        r.gap_mean, r.gap_max);
+    // Tree-shape evolution: one parallel array per curve, sampled once a
+    // second by the runner.
+    const auto& shape = r.result.shape;
+    auto curve = [&](const char* name, auto get, const char* fmt) {
+      std::fprintf(f, "     \"%s\": [", name);
+      for (std::size_t j = 0; j < shape.size(); ++j) {
+        std::fprintf(f, fmt, get(shape[j]));
+        if (j + 1 < shape.size()) std::fprintf(f, ", ");
+      }
+      std::fprintf(f, "]");
+    };
+    std::fprintf(f, "     \"shape\": {\n");
+    curve("t_seconds", [](const auto& s) { return to_seconds(s.at); },
+          "%.1f");
+    std::fprintf(f, ",\n");
+    curve("in_tree", [](const auto& s) { return s.in_tree; }, "%zu");
+    std::fprintf(f, ",\n");
+    curve("orphans", [](const auto& s) { return s.orphans; }, "%zu");
+    std::fprintf(f, ",\n");
+    curve("depth", [](const auto& s) { return s.depth; }, "%zu");
+    std::fprintf(f, ",\n");
+    curve("max_degree", [](const auto& s) { return s.max_degree; }, "%zu");
+    std::fprintf(f, ",\n");
+    curve("mean_degree", [](const auto& s) { return s.mean_degree; },
+          "%.2f");
+    std::fprintf(f, "\n     }}%s\n", i + 1 < rates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_streaming.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out path] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  print_header(
+      "Flash-crowd streaming churn vs churn rate (deterministic sim)",
+      "rejoin latency, stream gaps and tree shape stay bounded as "
+      "sessions shorten (scenario tier; docs/SCENARIOS.md)");
+  print_row({"rate", "sess(s)", "ev/v/min", "rejoin-p50", "rejoin-p99",
+             "gap-mean", "depth", "orphans"},
+            12);
+
+  // Three churn rates: session lengths from "most viewers outlast the
+  // horizon" down to "everyone churns repeatedly".
+  const double scale = smoke ? 0.4 : 1.0;
+  std::vector<RateResult> rates;
+  rates.push_back(run_rate("low", 40.0 * scale, smoke, 101));
+  rates.push_back(run_rate("medium", 15.0 * scale, smoke, 102));
+  rates.push_back(run_rate("high", 6.0 * scale, smoke, 103));
+
+  for (const auto& r : rates) {
+    const std::size_t final_depth =
+        r.result.shape.empty() ? 0 : r.result.shape.back().depth;
+    print_row({r.label, strf("%.0f", r.mean_session_seconds),
+               strf("%.2f", r.events_per_viewer_minute),
+               strf("%.3f", r.rejoin_p50), strf("%.3f", r.rejoin_p99),
+               strf("%.4f", r.gap_mean), strf("%zu", final_depth),
+               strf("%zu", r.orphans)},
+              12);
+  }
+
+  write_json(out, rates);
+
+  bool fail = false;
+  for (const auto& r : rates) {
+    if (r.orphans != 0) {
+      std::fprintf(stderr, "FAIL: %s churn left %zu permanent orphans\n",
+                   r.label.c_str(), r.orphans);
+      fail = true;
+    }
+    if (r.frames == 0) {
+      std::fprintf(stderr, "FAIL: %s churn delivered no frames\n",
+                   r.label.c_str());
+      fail = true;
+    }
+    if (!r.result.verify_failures.empty()) {
+      std::fprintf(stderr, "FAIL: %s churn verify: %s\n", r.label.c_str(),
+                   r.result.verify_failures.front().c_str());
+      fail = true;
+    }
+  }
+  return fail ? 1 : 0;
+}

@@ -8,10 +8,16 @@ namespace iov {
 
 bool KnownHosts::add(const NodeId& id, const NodeId& self) {
   if (!id.valid() || id == self) return false;
-  return hosts_.insert(id).second;
+  if (!hosts_.insert(id).second) return false;
+  order_.push_back(id);
+  return true;
 }
 
-bool KnownHosts::remove(const NodeId& id) { return hosts_.erase(id) > 0; }
+bool KnownHosts::remove(const NodeId& id) {
+  if (hosts_.erase(id) == 0) return false;
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  return true;
+}
 
 std::vector<NodeId> KnownHosts::all() const {
   std::vector<NodeId> out(hosts_.begin(), hosts_.end());
@@ -20,7 +26,20 @@ std::vector<NodeId> KnownHosts::all() const {
 }
 
 std::vector<NodeId> KnownHosts::sample(std::size_t k, Rng& rng) const {
-  return rng.sample(all(), k);
+  const std::size_t n = order_.size();
+  if (k >= n) return rng.sample(order_, k);
+  // Small sample from a large set: draw distinct indices instead of
+  // shuffling a full copy. The rejection loop stays cheap because
+  // k < n; fall back to the copying path when k is a large fraction.
+  if (k * 2 >= n) return rng.sample(order_, k);
+  std::vector<NodeId> out;
+  out.reserve(k);
+  std::unordered_set<std::size_t> picked;
+  while (out.size() < k) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(n));
+    if (picked.insert(i).second) out.push_back(order_[i]);
+  }
+  return out;
 }
 
 std::size_t KnownHosts::add_from_list(std::string_view list,

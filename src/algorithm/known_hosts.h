@@ -45,6 +45,11 @@ class KnownHosts {
 
  private:
   std::unordered_set<NodeId> hosts_;
+  // Insertion-order mirror of `hosts_` so sample() can pick indices in
+  // O(k) instead of copying the whole set per call — the query relay
+  // path samples on every hop, which made O(n) sampling the dominant
+  // cost of large join waves.
+  std::vector<NodeId> order_;
 };
 
 }  // namespace iov

@@ -734,7 +734,9 @@ bool Engine::pump_link_slot(const NodeId& peer) {
     // dequeue, covering the time the message sat in the receive buffer.
     const TimePoint t0 = clock_->now();
     switch_latency_.observe(to_seconds(t0 - in.enqueued_at));
-    up_apps_[peer].insert(in.msg->app());
+    // Data-plane only: a peer is an "upstream" for an app when it feeds
+    // us that app's data, not when it merely relays control for it.
+    if (in.msg->type() == MsgType::kData) up_apps_[peer].insert(in.msg->app());
     current_outbox_ = &outbox;
     deliver_to_algorithm(in.msg);
     current_outbox_ = nullptr;
@@ -836,7 +838,9 @@ void Engine::send(const MsgPtr& m, const NodeId& dest) {
     return;
   }
   if (link->send_buffer().try_push(m)) {
-    down_apps_[dest].insert(m->app());
+    // Only data messages define the per-app up/downstream topology the
+    // Domino walks (see SimEngine::send for the full rationale).
+    if (m->type() == MsgType::kData) down_apps_[dest].insert(m->app());
   } else {
     control_backlog_[dest].push_back(m);
   }

@@ -81,4 +81,17 @@ inline constexpr char kChaosSessionsTornDownTotal[] =
 inline constexpr char kChaosRecoveryLatencySeconds[] =
     "iov_chaos_recovery_latency_seconds";
 
+// --- Streaming churn scenarios (registry of the executing runner) ---------
+inline constexpr char kStreamChurnEventsTotal[] =
+    "iov_stream_churn_events_total";
+inline constexpr char kStreamFramesTotal[] = "iov_stream_frames_total";
+inline constexpr char kStreamFirstPacketSeconds[] =
+    "iov_stream_first_packet_seconds";
+inline constexpr char kStreamRejoinSeconds[] = "iov_stream_rejoin_seconds";
+inline constexpr char kStreamGapSeconds[] = "iov_stream_gap_seconds";
+inline constexpr char kStreamViewersInTree[] = "iov_stream_viewers_in_tree";
+inline constexpr char kStreamOrphans[] = "iov_stream_orphans";
+inline constexpr char kStreamTreeDepth[] = "iov_stream_tree_depth";
+inline constexpr char kStreamTreeDegreeMax[] = "iov_stream_tree_degree_max";
+
 }  // namespace iov::obs::names

@@ -1,0 +1,98 @@
+#include "scenario/churn.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace iov::scenario {
+
+const char* churn_action_name(ChurnAction action) {
+  switch (action) {
+    case ChurnAction::kJoin: return "join";
+    case ChurnAction::kDrop: return "drop";
+    case ChurnAction::kDepart: return "depart";
+  }
+  return "?";
+}
+
+std::string ChurnEvent::to_string() const {
+  return strf("at %.6f %s v%zu", to_seconds(at), churn_action_name(action),
+              viewer);
+}
+
+std::size_t ChurnSchedule::count(ChurnAction action) const {
+  std::size_t n = 0;
+  for (const ChurnEvent& e : events) n += (e.action == action) ? 1 : 0;
+  return n;
+}
+
+std::string ChurnSchedule::to_string() const {
+  std::string out;
+  for (const ChurnEvent& e : events) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+ChurnSchedule generate_churn(const ChurnConfig& config) {
+  ChurnSchedule out;
+  out.viewers = config.viewers;
+  if (config.viewers == 0 || config.horizon <= 0) return out;
+  Rng rng(config.seed);
+  const std::size_t waves = std::max<std::size_t>(config.waves, 1);
+
+  // Mass-exit shock instants, after the first wave has had time to land.
+  std::vector<Duration> shocks;
+  const Duration earliest = config.wave_spread;
+  if (config.horizon > earliest) {
+    for (std::size_t i = 0; i < config.shocks; ++i) {
+      shocks.push_back(earliest +
+                       static_cast<Duration>(
+                           rng.uniform01() *
+                           static_cast<double>(config.horizon - earliest)));
+    }
+    std::sort(shocks.begin(), shocks.end());
+  }
+
+  // Viewers spread round-robin across the arrival waves; each then lives
+  // through exponentially long sessions until it departs for good or the
+  // horizon cuts the story short.
+  for (std::size_t v = 0; v < config.viewers; ++v) {
+    const std::size_t wave = v % waves;
+    Duration t = static_cast<Duration>(wave) * config.wave_spacing +
+                 static_cast<Duration>(rng.uniform01() *
+                                       static_cast<double>(config.wave_spread));
+    if (t >= config.horizon) continue;
+    out.events.push_back({t, v, ChurnAction::kJoin});
+
+    while (true) {
+      Duration end =
+          t + seconds(rng.exponential(config.mean_session_seconds));
+      const bool depart = rng.chance(config.depart_fraction);
+      // Correlated exits: snap a share of the session ends onto the next
+      // shock instant after this viewer's current session start.
+      if (!shocks.empty() && rng.chance(config.correlated_fraction)) {
+        const auto shock =
+            std::upper_bound(shocks.begin(), shocks.end(), t);
+        if (shock != shocks.end()) end = *shock;
+      }
+      if (end >= config.horizon) break;
+      out.events.push_back(
+          {end, v, depart ? ChurnAction::kDepart : ChurnAction::kDrop});
+      if (depart) break;
+      // A dropped viewer rejoins on its own; give the repair a beat
+      // before the next session clock starts ticking.
+      t = end + seconds(1.0);
+    }
+  }
+
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+}  // namespace iov::scenario

@@ -1,0 +1,87 @@
+// Seeded flash-crowd churn generation (the workload ROADMAP's streaming
+// item names and the paper's §3 trees never face): thousands of viewers
+// arriving in a handful of tight bursts, staying for exponentially
+// distributed sessions, and departing either for good or abruptly enough
+// that they immediately fight to rejoin — with a configurable share of
+// the departures correlated into mass-exit shocks (the "everyone closes
+// the player when the match ends" pattern of Andreev et al.'s live
+// streaming traces).
+//
+// The generator is pure: a ChurnConfig (seed included) maps to exactly
+// one ChurnSchedule, so two runs of the same config drive byte-identical
+// scenarios through the deterministic simulator. The schedule speaks in
+// viewer indices; the scenario runner maps those to nodes and turns
+// drops/departs into chaos FaultPlan events (sever/kill) at execution
+// time, when the tree shape — and hence the sever peer — is known.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace iov::scenario {
+
+enum class ChurnAction {
+  kJoin,    ///< viewer joins the session (flash-crowd arrival)
+  kDrop,    ///< abrupt disconnect (link sever); the viewer auto-rejoins
+  kDepart,  ///< permanent leave (node kill); never comes back
+};
+
+const char* churn_action_name(ChurnAction action);
+
+struct ChurnEvent {
+  Duration at = 0;
+  std::size_t viewer = 0;
+  ChurnAction action = ChurnAction::kJoin;
+
+  /// One schedule line, e.g. "at 4.25 drop v17".
+  std::string to_string() const;
+};
+
+struct ChurnConfig {
+  std::size_t viewers = 1000;
+  u64 seed = 1;
+
+  /// Flash-crowd arrivals: `waves` bursts, starting `wave_spacing`
+  /// apart, each viewer's arrival uniform inside its wave's
+  /// `wave_spread` window.
+  std::size_t waves = 3;
+  Duration wave_spacing = seconds(8.0);
+  Duration wave_spread = seconds(2.0);
+
+  /// Session length drawn Exp(mean_session_seconds) per stay; a viewer
+  /// whose drop resolves before the horizon gets another session and may
+  /// churn repeatedly.
+  double mean_session_seconds = 15.0;
+  /// Share of session ends that are permanent departures (kill); the
+  /// rest are abrupt drops (sever) followed by an automatic rejoin.
+  double depart_fraction = 0.4;
+  /// Share of departures/drops pulled out of their natural time and
+  /// snapped onto one of `shocks` mass-exit instants (identical
+  /// timestamps, so same-time ordering is exercised too).
+  double correlated_fraction = 0.2;
+  std::size_t shocks = 2;
+
+  /// Events at or beyond the horizon are discarded; the runner's settle
+  /// window starts here.
+  Duration horizon = seconds(30.0);
+};
+
+struct ChurnSchedule {
+  std::size_t viewers = 0;
+  std::vector<ChurnEvent> events;  ///< time-sorted; ties keep draw order
+
+  std::size_t count(ChurnAction action) const;
+  /// The whole schedule, one event per line — the replay artifact
+  /// determinism tests compare byte-for-byte.
+  std::string to_string() const;
+};
+
+/// Expands `config` into its schedule; identical configs yield identical
+/// schedules.
+ChurnSchedule generate_churn(const ChurnConfig& config);
+
+}  // namespace iov::scenario

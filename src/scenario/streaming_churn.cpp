@@ -1,0 +1,580 @@
+#include "scenario/streaming_churn.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "apps/streaming.h"
+#include "chaos/sim_driver.h"
+#include "common/strings.h"
+#include "obs/metric_names.h"
+#include "scenario/verify_streaming.h"
+#include "sim/sim_net.h"
+
+namespace iov::scenario {
+
+// --- ViewerSink -----------------------------------------------------------
+
+ViewerSink::ViewerSink(double fps)
+    : fps_(fps > 0 ? fps : 1.0), grace_(seconds(1.5 / fps_)) {}
+
+MsgPtr ViewerSink::next_message(u32, const NodeId&, TimePoint) {
+  return nullptr;
+}
+
+void ViewerSink::account_gap_locked(TimePoint now) {
+  if (!subscribed_ || last_mark_ < 0) return;
+  const Duration silent = now - last_mark_;
+  if (silent > grace_) stats_.gap_seconds += to_seconds(silent - grace_);
+}
+
+void ViewerSink::deliver(const MsgPtr& m, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!subscribed_) return;  // tail frames after depart/finish
+  account_gap_locked(now);
+  stats_.frames++;
+  apps::FrameInfo info;
+  if (apps::FrameInfo::parse(*m, &info)) {
+    if (saw_frame_ && info.frame_id <= last_frame_id_) {
+      stats_.duplicate_or_stale++;
+    } else {
+      last_frame_id_ = info.frame_id;
+    }
+  }
+  if (!saw_frame_) {
+    saw_frame_ = true;
+    if (join_at_ >= 0) {
+      stats_.first_packet_latency = to_seconds(now - join_at_);
+    }
+  }
+  if (waiting_rejoin_) {
+    waiting_rejoin_ = false;
+    stats_.rejoin_latencies.push_back(to_seconds(now - drop_at_));
+  }
+  last_mark_ = now;
+}
+
+void ViewerSink::mark_join(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribed_ = true;
+  join_at_ = now;
+  last_mark_ = now;
+}
+
+void ViewerSink::mark_drop(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!subscribed_) return;
+  // No gap flush here: the silence from the last frame through the rejoin
+  // is one silence period, charged one grace interval at the next arrival.
+  stats_.drops++;
+  waiting_rejoin_ = true;
+  drop_at_ = now;
+}
+
+void ViewerSink::mark_depart(TimePoint now) { finish(now); }
+
+void ViewerSink::finish(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!subscribed_) return;
+  account_gap_locked(now);
+  subscribed_ = false;
+  if (waiting_rejoin_) {
+    waiting_rejoin_ = false;
+    stats_.unrecovered_drops++;
+  }
+}
+
+ViewerSink::Stats ViewerSink::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- Shape sampling -------------------------------------------------------
+
+std::string TreeShapeSample::to_string() const {
+  return strf(
+      "[%12.6f] wanting=%zu in_tree=%zu orphans=%zu depth=%zu "
+      "max_degree=%zu mean_degree=%.3f",
+      to_seconds(at), wanting, in_tree, orphans, depth, max_degree,
+      mean_degree);
+}
+
+namespace {
+
+struct TreeView {
+  bool in_tree = false;
+  std::optional<NodeId> parent;
+  std::size_t children = 0;
+};
+
+/// Per-node tree state plus the set of nodes whose parent chain reaches
+/// the source (acyclic, rooted) with their hop depths.
+struct ShapeView {
+  std::map<NodeId, TreeView> views;
+  std::map<NodeId, std::size_t> depth;  ///< rooted nodes only
+
+  bool rooted(const NodeId& id) const { return depth.count(id) > 0; }
+};
+
+ShapeView collect_shape(const sim::SimNet& net, u32 app, const NodeId& source,
+                        const std::vector<NodeId>& ids) {
+  ShapeView out;
+  const auto look = [&](const NodeId& id) -> const TreeView* {
+    const auto it = out.views.find(id);
+    if (it != out.views.end()) return &it->second;
+    const sim::SimEngine* e = net.node(id);
+    if (!e || !e->alive()) return nullptr;
+    const auto* tree =
+        dynamic_cast<const trees::TreeAlgorithm*>(&e->algorithm());
+    if (!tree) return nullptr;
+    TreeView v;
+    v.in_tree = tree->in_tree(app);
+    v.parent = tree->parent(app);
+    v.children = tree->children(app).size();
+    return &out.views.emplace(id, v).first->second;
+  };
+
+  if (const TreeView* s = look(source); s && s->in_tree) {
+    out.depth[source] = 0;
+  }
+  for (const NodeId& id : ids) {
+    if (out.rooted(id)) continue;
+    const TreeView* v = look(id);
+    if (!v || !v->in_tree) continue;
+    // Walk the parent chain until a node of known depth, the source, a
+    // dead end, or a cycle.
+    std::vector<NodeId> path;
+    std::set<NodeId> on_path;
+    NodeId cur = id;
+    i64 base = -1;
+    while (true) {
+      const auto known = out.depth.find(cur);
+      if (known != out.depth.end()) {
+        base = static_cast<i64>(known->second);
+        break;
+      }
+      if (on_path.count(cur)) break;  // parent cycle
+      const TreeView* cv = look(cur);
+      if (!cv || !cv->in_tree || !cv->parent) break;
+      path.push_back(cur);
+      on_path.insert(cur);
+      cur = *cv->parent;
+    }
+    if (base >= 0) {
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        out.depth[path[i]] =
+            static_cast<std::size_t>(base) + (path.size() - i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Result ---------------------------------------------------------------
+
+std::string StreamingChurnResult::trace_text() const {
+  std::string out;
+  for (const std::string& line : trace) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<double> StreamingChurnResult::rejoin_latencies() const {
+  std::vector<double> out;
+  for (const auto& v : viewers) {
+    out.insert(out.end(), v.continuity.rejoin_latencies.begin(),
+               v.continuity.rejoin_latencies.end());
+  }
+  return out;
+}
+
+double StreamingChurnResult::max_gap_seconds() const {
+  double worst = 0.0;
+  for (const auto& v : viewers) {
+    worst = std::max(worst, v.continuity.gap_seconds);
+  }
+  return worst;
+}
+
+double StreamingChurnResult::total_gap_seconds() const {
+  double total = 0.0;
+  for (const auto& v : viewers) total += v.continuity.gap_seconds;
+  return total;
+}
+
+std::size_t StreamingChurnResult::permanent_orphans() const {
+  std::size_t n = 0;
+  for (const auto& v : viewers) {
+    if (v.ever_joined && !v.departed && !v.alive_in_tree) ++n;
+  }
+  return n;
+}
+
+u64 StreamingChurnResult::frames_delivered() const {
+  u64 n = 0;
+  for (const auto& v : viewers) n += v.continuity.frames;
+  return n;
+}
+
+std::string StreamingChurnResult::fingerprint() const {
+  std::string out = "== schedule ==\n";
+  out += schedule.to_string();
+  out += "== plan ==\n";
+  out += plan_text;
+  out += "== trace ==\n";
+  out += trace_text();
+  out += "== shape ==\n";
+  for (const auto& s : shape) {
+    out += s.to_string();
+    out += '\n';
+  }
+  out += "== viewers ==\n";
+  for (const auto& v : viewers) {
+    out += strf("v%zu id=%s joined=%d departed=%d in_tree=%d frames=%llu "
+                "dup=%llu first=%.6f drops=%zu unrec=%zu gap=%.6f rejoin=[",
+                v.viewer, v.id.to_string().c_str(), v.ever_joined ? 1 : 0,
+                v.departed ? 1 : 0, v.alive_in_tree ? 1 : 0,
+                static_cast<unsigned long long>(v.continuity.frames),
+                static_cast<unsigned long long>(
+                    v.continuity.duplicate_or_stale),
+                v.continuity.first_packet_latency, v.continuity.drops,
+                v.continuity.unrecovered_drops, v.continuity.gap_seconds);
+    for (std::size_t i = 0; i < v.continuity.rejoin_latencies.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += strf("%.6f", v.continuity.rejoin_latencies[i]);
+    }
+    out += "]\n";
+  }
+  out += "== verify ==\n";
+  for (const auto& f : verify_failures) {
+    out += f;
+    out += '\n';
+  }
+  out += "== metrics ==\n";
+  out += metrics_text;
+  return out;
+}
+
+// --- Sim runner -----------------------------------------------------------
+
+namespace {
+
+struct SimViewer {
+  NodeId id;
+  std::shared_ptr<ViewerSink> sink;
+  bool joined = false;
+  bool departed = false;
+  std::size_t stuck = 0;  ///< consecutive samples wanting but unrooted
+};
+
+}  // namespace
+
+StreamingChurnResult run_sim_streaming_churn(
+    const StreamingChurnConfig& config) {
+  namespace names = obs::names;
+  StreamingChurnResult out;
+  out.schedule = generate_churn(config.churn);
+  const u32 app = config.app;
+
+  sim::SimNet::Config nc;
+  nc.seed = config.churn.seed;
+  sim::SimNet net(nc);
+  obs::MetricsRegistry& reg = net.metrics();
+
+  // The last-mile figure only feeds the ns-aware stress formula; give
+  // uncapped nodes a nominal 200 kB/s so stress stays finite.
+  const double last_mile =
+      config.viewer_bandwidth > 0 ? config.viewer_bandwidth : 200e3;
+  const auto make_tree = [&] {
+    auto t = std::make_unique<trees::TreeAlgorithm>(config.strategy,
+                                                    last_mile);
+    t->set_data_timeout(config.data_timeout);
+    return t;
+  };
+  // Throughput self-reports are pure background load here; stretch the
+  // interval so a 10k-node run is not dominated by them.
+  sim::SimNodeConfig src_cfg;
+  src_cfg.bandwidth.node_up = config.source_bandwidth;
+  src_cfg.throughput_interval = seconds(10.0);
+  sim::SimEngine& src = net.add_node(make_tree(), src_cfg);
+  const NodeId source = src.self();
+  src.register_app(app, std::make_shared<apps::VideoSource>(
+                            config.fps, config.gop, config.iframe_bytes,
+                            config.pframe_bytes));
+  net.deploy(source, app);
+
+  sim::SimNodeConfig viewer_cfg;
+  viewer_cfg.bandwidth.node_up = config.viewer_bandwidth;
+  viewer_cfg.throughput_interval = seconds(10.0);
+  std::vector<SimViewer> viewers(out.schedule.viewers);
+  for (std::size_t v = 0; v < viewers.size(); ++v) {
+    sim::SimEngine& e = net.add_node(make_tree(), viewer_cfg);
+    viewers[v].id = e.self();
+    viewers[v].sink = std::make_shared<ViewerSink>(config.fps);
+    e.register_app(app, viewers[v].sink);
+  }
+
+  // The rendezvous view: viewers currently part of the session, in join
+  // order. Bootstrap replies are sampled from here (plus the source), the
+  // way the observer samples announced-alive nodes.
+  std::vector<NodeId> member_pool;
+  const auto bootstrap_viewer = [&](const SimViewer& vs) {
+    std::vector<NodeId> hosts{source};
+    if (config.bootstrap_subset > 1 && !member_pool.empty()) {
+      // Draw indices instead of Rng::sample's copy-and-shuffle: at 10k
+      // viewers a full pool copy per join dominates the whole run.
+      const std::size_t want =
+          std::min(config.bootstrap_subset - 1, member_pool.size());
+      std::set<std::size_t> picked;
+      while (picked.size() < want) {
+        picked.insert(
+            static_cast<std::size_t>(net.rng().below(member_pool.size())));
+      }
+      for (const std::size_t i : picked) {
+        if (member_pool[i] != vs.id) hosts.push_back(member_pool[i]);
+      }
+    }
+    net.bootstrap(vs.id, hosts);
+  };
+
+  chaos::FaultPlan executed;
+  const auto tree_of = [&](const NodeId& id) -> const trees::TreeAlgorithm* {
+    const sim::SimEngine* e = net.node(id);
+    if (!e || !e->alive()) return nullptr;
+    return dynamic_cast<const trees::TreeAlgorithm*>(&e->algorithm());
+  };
+
+  const TimePoint t0 = net.now();
+  const auto scenario_seconds = [&] { return to_seconds(net.now() - t0); };
+  const auto churn_count = [&](const char* action) -> obs::Counter& {
+    return reg.counter(names::kStreamChurnEventsTotal, {{"action", action}});
+  };
+
+  const auto apply_event = [&](const ChurnEvent& e) {
+    SimViewer& vs = viewers[e.viewer];
+    switch (e.action) {
+      case ChurnAction::kJoin: {
+        if (vs.joined || vs.departed) break;
+        bootstrap_viewer(vs);
+        vs.joined = true;
+        vs.sink->mark_join(net.now());
+        net.join_app(vs.id, app);
+        member_pool.push_back(vs.id);
+        churn_count("join").inc();
+        out.trace.push_back(strf("[%12.6f] join v%zu (%s)",
+                                 scenario_seconds(), e.viewer,
+                                 vs.id.to_string().c_str()));
+        break;
+      }
+      case ChurnAction::kDrop: {
+        if (!vs.joined || vs.departed) break;
+        const trees::TreeAlgorithm* tree = tree_of(vs.id);
+        std::optional<NodeId> parent;
+        if (tree) parent = tree->parent(app);
+        if (!parent) {
+          // Not attached right now (still joining or already healing); the
+          // disconnect it models is already in progress.
+          out.trace.push_back(strf("[%12.6f] drop v%zu skipped (no parent)",
+                                   scenario_seconds(), e.viewer));
+          break;
+        }
+        chaos::FaultPlan plan;
+        plan.sever(0, vs.id.to_string(), parent->to_string());
+        chaos::SimChaosDriver driver(net, std::move(plan), {});
+        driver.run_until(net.now());
+        for (const std::string& line : driver.trace()) {
+          out.trace.push_back(line);
+        }
+        executed.sever(net.now() - t0, vs.id.to_string(),
+                       parent->to_string());
+        vs.sink->mark_drop(net.now());
+        churn_count("drop").inc();
+        break;
+      }
+      case ChurnAction::kDepart: {
+        if (!vs.joined || vs.departed) break;
+        chaos::FaultPlan plan;
+        plan.kill(0, vs.id.to_string());
+        chaos::SimChaosDriver driver(net, std::move(plan), {});
+        driver.run_until(net.now());
+        for (const std::string& line : driver.trace()) {
+          out.trace.push_back(line);
+        }
+        executed.kill(net.now() - t0, vs.id.to_string());
+        vs.departed = true;
+        vs.sink->mark_depart(net.now());
+        std::erase(member_pool, vs.id);
+        churn_count("depart").inc();
+        break;
+      }
+    }
+  };
+
+  obs::Gauge& g_in_tree = reg.gauge(names::kStreamViewersInTree);
+  obs::Gauge& g_orphans = reg.gauge(names::kStreamOrphans);
+  obs::Gauge& g_depth = reg.gauge(names::kStreamTreeDepth);
+  obs::Gauge& g_degree = reg.gauge(names::kStreamTreeDegreeMax);
+
+  const auto do_sample = [&] {
+    std::vector<NodeId> wanting_ids;
+    for (const SimViewer& vs : viewers) {
+      if (vs.joined && !vs.departed) wanting_ids.push_back(vs.id);
+    }
+    const ShapeView shape = collect_shape(net, app, source, wanting_ids);
+    TreeShapeSample s;
+    s.at = net.now() - t0;
+    s.wanting = wanting_ids.size();
+    std::size_t degree_nodes = 0;
+    std::size_t degree_sum = 0;
+    const auto fold_degree = [&](const NodeId& id) {
+      const auto it = shape.views.find(id);
+      if (it == shape.views.end()) return;
+      const std::size_t d =
+          it->second.children + (it->second.parent ? 1 : 0);
+      degree_nodes++;
+      degree_sum += d;
+      s.max_degree = std::max(s.max_degree, d);
+    };
+    if (shape.rooted(source)) fold_degree(source);
+    for (const NodeId& id : wanting_ids) {
+      const auto it = shape.views.find(id);
+      const bool in = it != shape.views.end() && it->second.in_tree;
+      if (in) s.in_tree++;
+      if (shape.rooted(id)) {
+        s.depth = std::max(s.depth, shape.depth.at(id));
+        fold_degree(id);
+      } else {
+        s.orphans++;
+      }
+    }
+    s.mean_degree = degree_nodes == 0
+                        ? 0.0
+                        : static_cast<double>(degree_sum) /
+                              static_cast<double>(degree_nodes);
+    out.shape.push_back(s);
+    g_in_tree.set(static_cast<i64>(s.in_tree));
+    g_orphans.set(static_cast<i64>(s.orphans));
+    g_depth.set(static_cast<i64>(s.depth));
+    g_degree.set(static_cast<i64>(s.max_degree));
+
+    // Orphan self-rescue: a viewer can wedge with every known host dead or
+    // detached; refresh its rendezvous view (the real-world "ask the
+    // tracker again") after a few stuck samples.
+    for (SimViewer& vs : viewers) {
+      if (!vs.joined || vs.departed) continue;
+      if (shape.rooted(vs.id)) {
+        vs.stuck = 0;
+        continue;
+      }
+      if (++vs.stuck >= 3) {
+        bootstrap_viewer(vs);
+        vs.stuck = 0;
+      }
+    }
+  };
+
+  // Merge-ordered execution: churn events and shape samples interleave at
+  // their exact sim times.
+  const TimePoint end = t0 + config.churn.horizon + config.settle;
+  std::size_t ei = 0;
+  TimePoint next_sample = t0 + config.sample_period;
+  while (true) {
+    TimePoint target = std::min(end, next_sample);
+    if (ei < out.schedule.events.size() &&
+        t0 + out.schedule.events[ei].at < target) {
+      target = t0 + out.schedule.events[ei].at;
+    }
+    net.run_until(target);
+    while (ei < out.schedule.events.size() &&
+           t0 + out.schedule.events[ei].at <= target) {
+      apply_event(out.schedule.events[ei]);
+      ++ei;
+    }
+    if (target == next_sample) {
+      do_sample();
+      next_sample += config.sample_period;
+    }
+    if (target == end) break;
+  }
+
+  // Final accounting at the quiescent point.
+  out.plan_text = executed.to_string();
+  std::vector<NodeId> final_ids;
+  for (const SimViewer& vs : viewers) {
+    if (vs.joined && !vs.departed) final_ids.push_back(vs.id);
+  }
+  const ShapeView final_shape = collect_shape(net, app, source, final_ids);
+  if (std::getenv("IOV_SCENARIO_DEBUG") != nullptr) {
+    for (const SimViewer& vs : viewers) {
+      if (!vs.joined || vs.departed || final_shape.rooted(vs.id)) continue;
+      std::string line = "STUCK " + vs.id.to_string() + " chain:";
+      NodeId cur = vs.id;
+      std::set<NodeId> seen;
+      while (true) {
+        if (!seen.insert(cur).second) {
+          line += " CYCLE";
+          break;
+        }
+        const trees::TreeAlgorithm* t = tree_of(cur);
+        if (!t) {
+          line += " " + cur.to_string() + "(DEAD)";
+          break;
+        }
+        if (!t->in_tree(app)) {
+          line += " " + cur.to_string() + "(OUT)";
+          break;
+        }
+        const auto p = t->parent(app);
+        if (!p) {
+          line += " " + cur.to_string() + "(NO-PARENT)";
+          break;
+        }
+        line += " " + cur.to_string();
+        cur = *p;
+      }
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+
+  obs::Counter& frames_total = reg.counter(names::kStreamFramesTotal);
+  obs::Histogram& h_first = reg.histogram(names::kStreamFirstPacketSeconds);
+  obs::Histogram& h_rejoin = reg.histogram(names::kStreamRejoinSeconds);
+  obs::Histogram& h_gap = reg.histogram(names::kStreamGapSeconds);
+  out.viewers.resize(viewers.size());
+  for (std::size_t v = 0; v < viewers.size(); ++v) {
+    SimViewer& vs = viewers[v];
+    vs.sink->finish(net.now());
+    ViewerOutcome& o = out.viewers[v];
+    o.viewer = v;
+    o.id = vs.id;
+    o.ever_joined = vs.joined;
+    o.departed = vs.departed;
+    o.alive_in_tree = final_shape.rooted(vs.id);
+    o.continuity = vs.sink->stats();
+    if (!o.ever_joined) continue;
+    frames_total.inc(o.continuity.frames);
+    if (o.continuity.first_packet_latency >= 0) {
+      h_first.observe(o.continuity.first_packet_latency);
+    }
+    for (const double r : o.continuity.rejoin_latencies) h_rejoin.observe(r);
+    h_gap.observe(o.continuity.gap_seconds);
+  }
+
+  const chaos::VerifyResult tree_ok = chaos::verify_streaming_tree(net, app);
+  out.verify_failures = tree_ok.failures;
+  const chaos::VerifyResult orphans_ok =
+      chaos::verify_no_permanent_orphans(out);
+  out.verify_failures.insert(out.verify_failures.end(),
+                             orphans_ok.failures.begin(),
+                             orphans_ok.failures.end());
+
+  out.metrics_text = reg.snapshot().serialize();
+  return out;
+}
+
+}  // namespace iov::scenario

@@ -1,0 +1,171 @@
+// Flash-crowd streaming churn harness: drives a generated ChurnSchedule
+// against a §3.3 dissemination tree carrying a VideoSource stream, with
+// every drop/depart executed through the chaos FaultPlan machinery
+// (single-event plans resolved against the live tree, so a "drop"
+// severs the viewer's *current* parent link). Runs on both substrates:
+//
+//   * run_sim_streaming_churn — SimNet, deterministic: same config (seed
+//     included) gives byte-identical schedules, fault traces, per-viewer
+//     continuity accounting, tree-shape curves and metric snapshots.
+//     This is the 10k-viewer scale harness.
+//   * run_real_streaming_churn — real engines over loopback TCP plus the
+//     observer control plane (RealChaosDriver wire commands), small
+//     scale; the cross-substrate conformance tests compare its surviving
+//     viewer set and metric aggregates against the sim run.
+//
+// Per-viewer continuity accounting (the Ripeanu-style QoS story):
+// first-packet latency, per-drop rejoin latency, and gap seconds — total
+// stream silence beyond one grace interval while the viewer wanted the
+// stream. Tree shape (depth / degree / orphans) is sampled over time.
+// Everything is exported as iov_stream_* metrics through src/obs.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algorithm/application.h"
+#include "chaos/fault_plan.h"
+#include "obs/metrics.h"
+#include "scenario/churn.h"
+#include "trees/tree_algorithm.h"
+
+namespace iov::scenario {
+
+/// Continuity-accounting receiver: the runner marks subscription edges
+/// (join / drop / depart) and the sink folds every delivered frame into
+/// gap/latency accounting incrementally. Thread-safe — on the real
+/// substrate deliveries come from the engine thread.
+class ViewerSink : public Application {
+ public:
+  explicit ViewerSink(double fps);
+
+  MsgPtr next_message(u32 app, const NodeId& self, TimePoint now) override;
+  void deliver(const MsgPtr& m, TimePoint now) override;
+
+  void mark_join(TimePoint now);
+  void mark_drop(TimePoint now);
+  void mark_depart(TimePoint now);
+  /// Closes the accounting window (tail gap up to `now`).
+  void finish(TimePoint now);
+
+  struct Stats {
+    u64 frames = 0;
+    u64 duplicate_or_stale = 0;  ///< non-increasing frame ids seen
+    /// Join -> first frame, seconds; < 0 when no frame ever arrived.
+    double first_packet_latency = -1.0;
+    /// One entry per drop that recovered: drop -> next frame, seconds.
+    std::vector<double> rejoin_latencies;
+    std::size_t drops = 0;
+    std::size_t unrecovered_drops = 0;  ///< dropped and never saw data again
+    /// Stream silence beyond the grace interval while subscribed.
+    double gap_seconds = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  void account_gap_locked(TimePoint now);
+
+  const double fps_;
+  const Duration grace_;  ///< 1.5 frame intervals
+  mutable std::mutex mu_;
+  Stats stats_;
+  bool subscribed_ = false;
+  bool waiting_rejoin_ = false;
+  TimePoint join_at_ = -1;
+  TimePoint drop_at_ = -1;
+  TimePoint last_mark_ = -1;  ///< last arrival or subscription edge
+  bool saw_frame_ = false;
+  u32 last_frame_id_ = 0;
+};
+
+struct StreamingChurnConfig {
+  ChurnConfig churn;
+  u32 app = 1;
+  trees::TreeStrategy strategy = trees::TreeStrategy::kRandomized;
+
+  // Stream shape (VideoSource): frames/second, GOP length, frame sizes.
+  double fps = 2.0;
+  std::size_t gop = 8;
+  std::size_t iframe_bytes = 1200;
+  std::size_t pframe_bytes = 400;
+
+  /// Last-mile uplink caps, bytes/second; 0 = uncapped (the 10k runs
+  /// leave bandwidth uncapped so sim time is spent on churn, not pacing).
+  double source_bandwidth = 0.0;
+  double viewer_bandwidth = 0.0;
+
+  std::size_t bootstrap_subset = 8;
+  /// Starvation self-heal handed to every TreeAlgorithm
+  /// (TreeAlgorithm::set_data_timeout); 0 disables.
+  Duration data_timeout = seconds(3.0);
+  /// Tree-shape sampling period.
+  Duration sample_period = seconds(1.0);
+  /// Drain time after the last churn event before final verification.
+  Duration settle = seconds(6.0);
+};
+
+struct ViewerOutcome {
+  std::size_t viewer = 0;
+  NodeId id;
+  bool ever_joined = false;
+  bool departed = false;       ///< permanently left (killed)
+  bool alive_in_tree = false;  ///< final state
+  ViewerSink::Stats continuity;
+};
+
+struct TreeShapeSample {
+  TimePoint at = 0;
+  std::size_t wanting = 0;         ///< alive viewers subscribed right now
+  std::size_t in_tree = 0;
+  std::size_t orphans = 0;         ///< wanting but detached (rejoining)
+  std::size_t depth = 0;           ///< max hops source -> viewer
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+
+  std::string to_string() const;
+};
+
+struct StreamingChurnResult {
+  ChurnSchedule schedule;
+  std::vector<ViewerOutcome> viewers;
+  std::vector<TreeShapeSample> shape;
+  /// Every executed fault event in FaultPlan DSL form with resolved node
+  /// ids, absolute scenario times — the churn counterpart of a chaos
+  /// driver trace.
+  std::string plan_text;
+  /// Chaos driver trace lines plus join markers, in execution order.
+  std::vector<std::string> trace;
+  /// Serialized obs::MetricsSnapshot of the runner's registry (sim: the
+  /// SimNet registry, including the iov_sim_* substrate metrics).
+  std::string metrics_text;
+  /// Verification outcome at the final quiescent point (and, on the sim
+  /// substrate, at every intermediate quiescent point): empty == ok.
+  std::vector<std::string> verify_failures;
+
+  std::string trace_text() const;
+  /// Canonical digest of everything above that must replay identically:
+  /// schedule, plan, trace, shape curve, per-viewer continuity, metrics.
+  std::string fingerprint() const;
+
+  // Aggregates for benches and predicates.
+  std::vector<double> rejoin_latencies() const;
+  double max_gap_seconds() const;
+  double total_gap_seconds() const;
+  std::size_t permanent_orphans() const;
+  u64 frames_delivered() const;
+};
+
+/// Runs the scenario on the deterministic simulator.
+StreamingChurnResult run_sim_streaming_churn(
+    const StreamingChurnConfig& config);
+
+/// Runs the scenario on real engines over loopback with an in-process
+/// observer (faults travel the kSeverLink/kTerminateNode wire commands).
+/// Wall-clock, so only aggregates — not the fingerprint — are comparable
+/// across runs. Keep viewer counts small.
+StreamingChurnResult run_real_streaming_churn(
+    const StreamingChurnConfig& config);
+
+}  // namespace iov::scenario

@@ -1,0 +1,169 @@
+#include "scenario/verify_streaming.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/strings.h"
+#include "trees/tree_algorithm.h"
+
+namespace iov::chaos {
+
+namespace {
+
+struct TreeView {
+  bool in_tree = false;
+  bool is_source = false;
+  std::optional<NodeId> parent;
+  std::set<NodeId> children;
+};
+
+std::map<NodeId, TreeView> collect(const sim::SimNet& net, u32 app) {
+  std::map<NodeId, TreeView> out;
+  for (const NodeId& id : net.node_ids()) {
+    const sim::SimEngine* e = net.node(id);
+    if (!e || !e->alive()) continue;
+    const auto* tree =
+        dynamic_cast<const trees::TreeAlgorithm*>(&e->algorithm());
+    if (!tree) continue;
+    TreeView v;
+    v.in_tree = tree->in_tree(app);
+    v.is_source = e->is_source(app);
+    v.parent = tree->parent(app);
+    for (const NodeId& c : tree->children(app)) v.children.insert(c);
+    out.emplace(id, std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+VerifyResult verify_streaming_tree(const sim::SimNet& net, u32 app) {
+  VerifyResult r;
+  const auto views = collect(net, app);
+
+  for (const auto& [id, v] : views) {
+    if (!v.in_tree) {
+      // A detached node must not believe it still has a parent.
+      if (v.parent) {
+        r.fail(strf("%s out of tree but keeps parent %s",
+                    id.to_string().c_str(), v.parent->to_string().c_str()));
+      }
+      continue;
+    }
+    if (v.is_source) continue;
+    if (!v.parent) {
+      r.fail(strf("%s in tree without a parent (non-source)",
+                  id.to_string().c_str()));
+      continue;
+    }
+    const auto p = views.find(*v.parent);
+    if (p == views.end()) {
+      r.fail(strf("%s's parent %s is dead or not a tree node",
+                  id.to_string().c_str(), v.parent->to_string().c_str()));
+      continue;
+    }
+    if (!p->second.in_tree) {
+      r.fail(strf("%s's parent %s is not in the tree",
+                  id.to_string().c_str(), v.parent->to_string().c_str()));
+    }
+    if (p->second.children.count(id) == 0) {
+      r.fail(strf("%s's parent %s does not list it as a child",
+                  id.to_string().c_str(), v.parent->to_string().c_str()));
+    }
+  }
+
+  // Stale children: every child entry must be an alive node whose parent
+  // pointer agrees.
+  for (const auto& [id, v] : views) {
+    if (!v.in_tree) continue;
+    for (const NodeId& c : v.children) {
+      const auto it = views.find(c);
+      if (it == views.end()) {
+        r.fail(strf("%s keeps dead child %s", id.to_string().c_str(),
+                    c.to_string().c_str()));
+      } else if (!it->second.parent || *it->second.parent != id) {
+        r.fail(strf("%s lists %s as child but the child disagrees",
+                    id.to_string().c_str(), c.to_string().c_str()));
+      }
+    }
+  }
+
+  // Acyclicity / rootedness: parent chains of in-tree nodes must reach a
+  // source. -1 marks nodes known detached or on a cycle.
+  std::map<NodeId, int> depth;
+  for (const auto& [id, v] : views) {
+    if (v.is_source && v.in_tree) depth[id] = 0;
+  }
+  for (const auto& [id, v] : views) {
+    if (!v.in_tree || depth.count(id)) continue;
+    std::vector<NodeId> path;
+    std::set<NodeId> on_path;
+    NodeId cur = id;
+    int base = -1;
+    while (true) {
+      const auto known = depth.find(cur);
+      if (known != depth.end()) {
+        base = known->second;
+        break;
+      }
+      if (on_path.count(cur)) {
+        r.fail(strf("parent cycle through %s", cur.to_string().c_str()));
+        break;
+      }
+      const auto it = views.find(cur);
+      if (it == views.end() || !it->second.in_tree || !it->second.parent) {
+        break;  // falls off the tree; the checks above already reported it
+      }
+      path.push_back(cur);
+      on_path.insert(cur);
+      cur = *it->second.parent;
+    }
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      depth[path[i]] =
+          base < 0 ? -1 : base + static_cast<int>(path.size() - i);
+    }
+    if (base < 0 && !path.empty()) {
+      for (const NodeId& n : path) depth[n] = -1;
+    }
+  }
+  for (const auto& [id, v] : views) {
+    if (v.in_tree && !v.is_source) {
+      const auto it = depth.find(id);
+      if (it == depth.end() || it->second < 0) {
+        r.fail(strf("%s is in the tree but no parent chain reaches a source",
+                    id.to_string().c_str()));
+      }
+    }
+  }
+  return r;
+}
+
+VerifyResult verify_no_permanent_orphans(
+    const scenario::StreamingChurnResult& result) {
+  VerifyResult r;
+  for (const auto& v : result.viewers) {
+    if (!v.ever_joined || v.departed) continue;
+    if (!v.alive_in_tree) {
+      r.fail(strf("viewer v%zu (%s) never made it back into the tree",
+                  v.viewer, v.id.to_string().c_str()));
+    }
+  }
+  return r;
+}
+
+VerifyResult verify_bounded_gap_seconds(
+    const scenario::StreamingChurnResult& result, double max_gap_seconds) {
+  VerifyResult r;
+  for (const auto& v : result.viewers) {
+    if (!v.ever_joined) continue;
+    if (v.continuity.gap_seconds > max_gap_seconds) {
+      r.fail(strf("viewer v%zu (%s) gap %.3fs exceeds budget %.3fs", v.viewer,
+                  v.id.to_string().c_str(), v.continuity.gap_seconds,
+                  max_gap_seconds));
+    }
+  }
+  return r;
+}
+
+}  // namespace iov::chaos

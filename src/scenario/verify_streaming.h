@@ -1,0 +1,37 @@
+// chaos::verify predicates for streaming trees under churn — the
+// streaming-specific members of the recovery-verification family
+// (chaos/verify.h). They turn the flash-crowd robustness story into
+// assertable properties:
+//
+//   * structural tree invariants at a quiescent point — every in-tree
+//     non-source has an alive, in-tree parent; parent/child bookkeeping
+//     is symmetric (no stale children); parent pointers are acyclic and
+//     rooted at a deployed source;
+//   * no permanent orphans — every viewer that ever joined and did not
+//     permanently depart is back in the tree once the churn settles;
+//   * bounded gap seconds — no surviving viewer's accumulated stream
+//     silence (beyond the playout grace) exceeds a budget.
+#pragma once
+
+#include "chaos/verify.h"
+#include "scenario/streaming_churn.h"
+#include "sim/sim_net.h"
+
+namespace iov::chaos {
+
+/// Structural invariants of the `app` dissemination tree across all alive
+/// simulated nodes running a TreeAlgorithm. Only meaningful at quiescent
+/// points (attach handshakes in flight legitimately break symmetry).
+VerifyResult verify_streaming_tree(const sim::SimNet& net, u32 app);
+
+/// Every viewer that joined and never permanently departed finished the
+/// scenario attached to the tree.
+VerifyResult verify_no_permanent_orphans(
+    const scenario::StreamingChurnResult& result);
+
+/// No surviving viewer accumulated more than `max_gap_seconds` of stream
+/// silence beyond the grace interval.
+VerifyResult verify_bounded_gap_seconds(
+    const scenario::StreamingChurnResult& result, double max_gap_seconds);
+
+}  // namespace iov::chaos

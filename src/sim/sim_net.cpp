@@ -215,7 +215,12 @@ void SimEngine::send(const MsgPtr& m, const NodeId& dest) {
   if (l.closed) return;
   if (l.send_buf.size() < l.send_cap) {
     l.send_buf.push_back(m);
-    down_apps_[dest].insert(m->app());
+    // Only data messages define the per-app up/downstream topology the
+    // Domino walks. Control traffic (query relays, acks, stress probes)
+    // reaches many more peers than the dissemination structure does, and
+    // counting it would turn a broken-source cascade into an
+    // overlay-wide flood.
+    if (m->type() == MsgType::kData) down_apps_[dest].insert(m->app());
     net_.pump_link(l);
   } else {
     control_backlog_[dest].push_back(m);
@@ -292,10 +297,13 @@ void SimEngine::pump() {
   while (round > 0 && cost < kBudgetBytes) {
     round = 0;
     flush_control_backlogs();
-    // Deterministic order: maps are sorted by NodeId / app id.
+    // Deterministic order: the peer index is sorted by NodeId. Copied
+    // first — delivering a message can dial new links, which mutates
+    // the index mid-walk.
     std::vector<NodeId> ups;
-    for (const auto& [pair, link] : net_.links_) {
-      if (pair.second == self_) ups.push_back(pair.first);
+    if (const auto it = net_.in_peers_.find(self_);
+        it != net_.in_peers_.end()) {
+      ups.assign(it->second.begin(), it->second.end());
     }
     for (const auto& peer : ups) round += pump_upstream(peer);
     for (auto& [app, slot] : sources_) round += pump_source(app, slot);
@@ -348,7 +356,9 @@ std::size_t SimEngine::pump_upstream(const NodeId& peer) {
   }
   net_.sim_switch_msgs_.inc();
   net_.on_recv_space(self_, peer);
-  up_apps_[peer].insert(m->app());
+  // Data-plane only: a peer is an "upstream" for an app when it feeds us
+  // that app's data, not when it merely relays control for it.
+  if (m->type() == MsgType::kData) up_apps_[peer].insert(m->app());
   const std::size_t size = m->wire_size();
 
   current_outbox_ = &outbox;
@@ -449,12 +459,13 @@ void SimEngine::shutdown() {
 }
 
 void SimEngine::handle_link_failure(const NodeId& peer, bool deliberate) {
-  // Notify the algorithm if we had any live link *or* any recorded traffic
-  // relationship with the peer (the link itself may already be marked
-  // closed by the time a failure notice is processed).
-  const bool had_links = net_.find_link(self_, peer) != nullptr ||
-                         net_.find_link(peer, self_) != nullptr ||
-                         up_apps_.count(peer) > 0 || down_apps_.count(peer) > 0;
+  // Notify the algorithm if any link slot ever existed in either
+  // direction (the slot may already be marked closed by the time a
+  // failure notice is processed; up/down_apps_ can't stand in for this —
+  // they only track data-plane traffic).
+  const auto touch = net_.touch_peers_.find(self_);
+  const bool had_links =
+      touch != net_.touch_peers_.end() && touch->second.count(peer) > 0;
   net_.close_links_of(self_, peer);
   upstream_outbox_.erase(peer);
   control_backlog_.erase(peer);
@@ -581,6 +592,9 @@ SimLink& SimNet::link(const NodeId& src, const NodeId& dst,
   auto& slot = links_[{src, dst}];
   if (!slot) {
     slot = std::make_unique<SimLink>();
+    in_peers_[dst].insert(src);
+    touch_peers_[src].insert(dst);
+    touch_peers_[dst].insert(src);
     slot->src = src;
     slot->dst = dst;
     slot->latency = latency_of(src, dst);
@@ -720,25 +734,27 @@ void SimNet::on_recv_space(const NodeId& dst, const NodeId& src) {
 
 void SimNet::close_links_of(const NodeId& id, const NodeId& only_peer) {
   std::vector<NodeId> failed_peers;
-  for (auto& [key, l] : links_) {
-    if (l->closed) continue;
-    const bool touches =
-        (key.first == id &&
-         (!only_peer.valid() || key.second == only_peer)) ||
-        (key.second == id && (!only_peer.valid() || key.first == only_peer));
-    if (!touches) continue;
+  const auto close_one = [&](const NodeId& src, const NodeId& dst,
+                             const NodeId& peer) {
+    const auto it = links_.find({src, dst});
+    if (it == links_.end() || it->second->closed) return;
+    SimLink* l = it->second.get();
     l->closed = true;
     for (const auto& m : l->send_buf) l->tx_meter.record_loss(m->wire_size());
     if (l->stalled) l->rx_meter.record_loss(l->stalled->wire_size());
-    for (const auto& m : l->recv_buf) {
-      (void)m;  // already delivered to the meter; drop silently
-    }
     l->send_buf.clear();
-    l->recv_buf.clear();
+    l->recv_buf.clear();  // already delivered to the meter; drop silently
     l->recv_enq.clear();
     l->stalled = nullptr;
-    const NodeId peer = key.first == id ? key.second : key.first;
     failed_peers.push_back(peer);
+  };
+  const auto touch = touch_peers_.find(id);
+  if (touch != touch_peers_.end()) {
+    for (const NodeId& peer : touch->second) {
+      if (only_peer.valid() && peer != only_peer) continue;
+      close_one(id, peer, peer);
+      close_one(peer, id, peer);
+    }
   }
   // Peers detect the broken links shortly after (only when the closure
   // was initiated by this node going down, not a targeted link teardown).

@@ -309,6 +309,13 @@ class SimNet {
   u32 next_host_ = 1;
   std::map<NodeId, std::unique_ptr<SimEngine>> nodes_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<SimLink>> links_;
+  // Per-node link-peer indexes so per-node scans (the engine pump loop,
+  // close_links_of) don't walk the global link map — at flash-crowd
+  // scale that walk dominated the whole simulation. Link slots are never
+  // erased, so these only grow; std::set iteration keeps the same
+  // NodeId-sorted deterministic order the links_ walk produced.
+  std::map<NodeId, std::set<NodeId>> in_peers_;     // key: dst, values: src
+  std::map<NodeId, std::set<NodeId>> touch_peers_;  // either direction
   std::map<std::pair<NodeId, NodeId>, Duration> latency_override_;
   std::map<std::pair<NodeId, NodeId>, double> loss_override_;
   std::set<std::pair<NodeId, NodeId>> blocked_;  // partition cut (directed)

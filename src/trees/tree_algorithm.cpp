@@ -114,6 +114,17 @@ void TreeAlgorithm::send_join_queries(u32 app, Session& s) {
 
 Disposition TreeAlgorithm::on_data(const MsgPtr& m) {
   Session& s = session(m->app());
+  // Loop/duplicate guard: per-source data seqs are monotone down a tree,
+  // so a non-increasing seq means this message already passed through
+  // here — it came around a cycle created by an unlucky rejoin (attaching
+  // into one's own subtree) or from a stale extra parent. Forwarding it
+  // again would circulate it forever.
+  const auto [it, first] = s.last_data_seq.try_emplace(m->origin(), m->seq());
+  if (!first) {
+    if (m->seq() <= it->second) return Disposition::kDone;
+    it->second = m->seq();
+  }
+  s.last_data_at = engine().now();
   if (s.consume) engine().deliver_local(m);
   for (const auto& child : s.children) engine().send(m, child);
   return Disposition::kDone;
@@ -125,6 +136,7 @@ Disposition TreeAlgorithm::on_user(const MsgPtr& m) {
     case kSQueryAck: handle_query_ack(m); break;
     case kSAttach: handle_attach(m); break;
     case kSStress: handle_stress(m); break;
+    case kSPrune: handle_prune(m); break;
     default: break;
   }
   return Disposition::kDone;
@@ -224,6 +236,7 @@ void TreeAlgorithm::handle_query_ack(const MsgPtr& m) {
   s.parent = m->origin();
   s.in_tree = true;
   s.join_pending = false;
+  s.last_data_at = engine().now();  // fresh starvation grace period
   engine().send(Msg::control(kSAttach, engine().self(), m->app()),
                 m->origin());
 }
@@ -232,6 +245,7 @@ void TreeAlgorithm::handle_attach(const MsgPtr& m) {
   Session& s = session(m->app());
   if (!s.in_tree) return;
   s.children.insert(m->origin());
+  s.child_seen[m->origin()] = engine().now();
 }
 
 void TreeAlgorithm::handle_stress(const MsgPtr& m) {
@@ -239,9 +253,68 @@ void TreeAlgorithm::handle_stress(const MsgPtr& m) {
       static_cast<double>(m->param(0)) / 1e6;
 }
 
+void TreeAlgorithm::handle_prune(const MsgPtr& m) {
+  Session& s = session(m->app());
+  s.children.erase(m->origin());
+  s.child_seen.erase(m->origin());
+  s.neighbor_stress.erase(m->origin());
+}
+
+void TreeAlgorithm::reaffirm_and_expire_children() {
+  const TimePoint now = engine().now();
+  const Duration lease = 4 * kStressPeriod;
+  for (auto& [app, s] : sessions_) {
+    // Children re-affirm their attachment every stress period (sAttach is
+    // idempotent at the parent), and parents expire children that have
+    // gone quiet for a full lease. This is classic soft state: a child
+    // that re-parented without managing to prune us — or whose prune was
+    // lost — stops being fed after the lease instead of receiving a
+    // stale forwarded stream forever.
+    if (s.in_tree && !s.is_source && s.parent) {
+      engine().send(Msg::control(kSAttach, engine().self(), app), *s.parent);
+    }
+    for (auto it = s.children.begin(); it != s.children.end();) {
+      const auto seen = s.child_seen.find(*it);
+      if (seen == s.child_seen.end()) {
+        s.child_seen[*it] = now;  // grace for a child added out-of-band
+        ++it;
+      } else if (now - seen->second > lease) {
+        s.neighbor_stress.erase(*it);
+        s.child_seen.erase(seen);
+        it = s.children.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TreeAlgorithm::self_heal_starved_sessions() {
+  if (data_timeout_ <= 0) return;
+  const TimePoint now = engine().now();
+  for (auto& [app, s] : sessions_) {
+    if (!s.in_tree || s.is_source) continue;
+    if (!s.consume && s.children.empty()) continue;
+    if (s.last_data_at < 0 || now - s.last_data_at <= data_timeout_) continue;
+    if (s.parent) {
+      engine().send(Msg::control(kSPrune, engine().self(), app), *s.parent);
+      s.neighbor_stress.erase(*s.parent);
+      s.parent.reset();
+    }
+    s.in_tree = false;
+    s.join_pending = true;
+    s.last_data_at = now;  // restart the grace clock for the rejoin
+  }
+}
+
 void TreeAlgorithm::on_timer(i32 timer_id) {
   if (timer_id != kStressTimer) return;
-  exchange_stress();
+  // Only the ns-aware strategy consumes sStress; the others skip the
+  // exchange so large randomized/unicast overlays don't pay a per-node
+  // background message load for numbers nobody reads.
+  if (strategy_ == TreeStrategy::kNsAware) exchange_stress();
+  reaffirm_and_expire_children();
+  self_heal_starved_sessions();
   // Join queries are random walks and can exhaust their TTL without
   // reaching the tree; retry until attached.
   for (auto& [app, s] : sessions_) {
@@ -274,6 +347,7 @@ void TreeAlgorithm::on_broken_link(const NodeId& peer) {
       if (s.consume && !s.is_source) s.join_pending = true;
     }
     s.children.erase(peer);
+    s.child_seen.erase(peer);
     s.neighbor_stress.erase(peer);
   }
 }
@@ -283,10 +357,24 @@ void TreeAlgorithm::on_broken_source(const MsgPtr& m) {
   if (it == sessions_.end()) return;
   Session& s = it->second;
   if (!s.is_source) {
+    // Tell the old parent to drop its child entry: its link to us may well
+    // be alive (the break was further upstream), and a stale child edge
+    // would keep feeding us data — masking the outage from the starvation
+    // self-heal and pinning half-torn tree shapes in place forever.
+    if (s.parent) {
+      engine().send(Msg::control(kSPrune, engine().self(), m->app()),
+                    *s.parent);
+    }
     s.in_tree = false;
     s.parent.reset();
     s.children.clear();
+    s.child_seen.clear();
     s.neighbor_stress.clear();
+    // The Domino tore this subtree's feed down, but that usually means an
+    // interior link or node died — not the source itself. A consumer
+    // re-locates the tree (§3.1 fault tolerance); if the source really is
+    // gone, its queries simply find nobody in the tree.
+    if (s.consume) s.join_pending = true;
   }
 }
 

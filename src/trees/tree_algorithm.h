@@ -38,6 +38,9 @@ constexpr MsgType kSQuery = static_cast<MsgType>(0x0301);
 constexpr MsgType kSQueryAck = static_cast<MsgType>(0x0302);
 constexpr MsgType kSAttach = static_cast<MsgType>(0x0303);
 constexpr MsgType kSStress = static_cast<MsgType>(0x0304);
+/// Child -> parent: "I am detaching from you" (starvation self-heal or a
+/// deliberate leave); the parent drops the sender from its child set.
+constexpr MsgType kSPrune = static_cast<MsgType>(0x0305);
 
 enum class TreeStrategy { kAllUnicast, kRandomized, kNsAware };
 
@@ -52,6 +55,15 @@ class TreeAlgorithm : public Algorithm {
 
   void on_start() override;
   std::string status() const override;
+
+  /// Starvation self-heal (0 = disabled, the default): an attached
+  /// non-source node that has seen no session data for this long prunes
+  /// itself from its parent and rejoins through a fresh sQuery walk.
+  /// This is the recovery path for states link-failure detection cannot
+  /// see — most importantly a rejoin that accidentally attached to the
+  /// node's own (now source-disconnected) subtree. Churn harnesses set
+  /// it to a few frame intervals.
+  void set_data_timeout(Duration timeout) { data_timeout_ = timeout; }
 
   // --- Introspection for experiments ----------------------------------------
 
@@ -88,6 +100,19 @@ class TreeAlgorithm : public Algorithm {
     std::set<NodeId> children;
     NodeId source;                          // from sAnnounce
     std::map<NodeId, double> neighbor_stress;  // from sStress
+    /// Highest data seq forwarded, per origin — the loop/duplicate guard:
+    /// data seqs are monotone per source, so a repeat means the message
+    /// came around a dissemination cycle (or a stale double-parent) and
+    /// must not be forwarded again.
+    std::map<NodeId, u32> last_data_seq;
+    TimePoint last_data_at = -1;  ///< attach or last data arrival
+    /// Child-lease soft state: when each child last re-affirmed its
+    /// attachment. A child that stops re-affirming (it re-parented
+    /// elsewhere, or its notifications were lost) is expired, so stale
+    /// child edges — which would keep feeding data into detached or
+    /// cyclic fragments, masking them from the starvation self-heal —
+    /// age out instead of living forever.
+    std::map<NodeId, TimePoint> child_seen;
   };
 
   void send_join_queries(u32 app, Session& s);
@@ -95,6 +120,9 @@ class TreeAlgorithm : public Algorithm {
   void handle_query_ack(const MsgPtr& m);
   void handle_attach(const MsgPtr& m);
   void handle_stress(const MsgPtr& m);
+  void handle_prune(const MsgPtr& m);
+  void self_heal_starved_sessions();
+  void reaffirm_and_expire_children();
   void accept_joiner(u32 app, const NodeId& joiner);
   void route_query_ns_aware(Session& session, u32 app, const NodeId& joiner,
                             const std::set<NodeId>& visited,
@@ -104,6 +132,7 @@ class TreeAlgorithm : public Algorithm {
 
   const TreeStrategy strategy_;
   const double last_mile_;
+  Duration data_timeout_ = 0;
   std::map<u32, Session> sessions_;
 };
 

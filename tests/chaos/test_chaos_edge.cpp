@@ -1,0 +1,207 @@
+// FaultPlan DSL edge cases: overlapping partition+sever on the same
+// region, the loss-probability extremes (0.0 and 1.0 — zero and a
+// million ppm), healing when nothing was ever severed, and the ordering
+// guarantee for events that share one timestamp. These are the corners a
+// generated flash-crowd plan (mass-exit shocks snap many events onto one
+// instant; drops race partitions) actually exercises, so they get their
+// own deterministic coverage.
+#include <gtest/gtest.h>
+
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "chaos/fault_plan.h"
+#include "chaos/sim_driver.h"
+#include "chaos/verify.h"
+#include "sim/sim_net.h"
+#include "../engine/engine_test_util.h"
+
+namespace iov::chaos {
+namespace {
+
+using test::RecordingRelay;
+
+constexpr u32 kApp = 1;
+
+// A -> B -> C relay chain streaming CBR; returns the net plus handles.
+struct Chain {
+  sim::SimNet net;
+  sim::SimEngine* a = nullptr;
+  sim::SimEngine* b = nullptr;
+  sim::SimEngine* c = nullptr;
+  RecordingRelay* relay_a = nullptr;
+  RecordingRelay* relay_b = nullptr;
+  RecordingRelay* relay_c = nullptr;
+  std::shared_ptr<apps::SinkApp> sink;
+};
+
+std::unique_ptr<Chain> make_chain() {
+  auto chain = std::make_unique<Chain>();
+  auto alg_a = std::make_unique<RecordingRelay>();
+  auto alg_b = std::make_unique<RecordingRelay>();
+  auto alg_c = std::make_unique<RecordingRelay>();
+  chain->relay_a = alg_a.get();
+  chain->relay_b = alg_b.get();
+  chain->relay_c = alg_c.get();
+  chain->a = &chain->net.add_node(std::move(alg_a));
+  chain->b = &chain->net.add_node(std::move(alg_b));
+  chain->c = &chain->net.add_node(std::move(alg_c));
+  chain->sink = std::make_shared<apps::SinkApp>();
+  chain->a->register_app(kApp, std::make_shared<apps::CbrSource>(1000, 100e3));
+  chain->c->register_app(kApp, chain->sink);
+  chain->relay_a->add_child(kApp, chain->b->self());
+  chain->relay_b->add_child(kApp, chain->c->self());
+  chain->relay_c->set_consume(kApp, true);
+  chain->net.deploy(chain->a->self(), kApp);
+  return chain;
+}
+
+Binding bind(const Chain& chain) {
+  return Binding{{"A", chain.a->self()},
+                 {"B", chain.b->self()},
+                 {"C", chain.c->self()}};
+}
+
+// A partition that already cuts B|C plus an explicit sever of A-B at the
+// very same instant: every link of the chain dies through a different
+// code path (partition cut vs sever), at one timestamp. The Domino must
+// still tear the whole session down cleanly, and a later heal must lift
+// the cut without resurrecting the severed edge's session state.
+TEST(ChaosEdge, OverlappingPartitionAndSeverTearDownCleanly) {
+  auto run = [](std::string* trace_out) {
+    auto chain = make_chain();
+    FaultPlan plan;
+    plan.partition(seconds(2.0), {{"A", "B"}, {"C"}});
+    plan.sever(seconds(2.0), "A", "B");
+    plan.heal(seconds(4.0));
+    SimChaosDriver driver(chain->net, plan, bind(*chain));
+    driver.run_until(seconds(8.0));
+
+    EXPECT_EQ(verify_domino_teardown(chain->net).to_string(), "ok");
+    // Only the source's own session survives; both downstream hops lost
+    // their feed (B via the sever, C via the partition cut).
+    EXPECT_EQ(verify_session_teardown(
+                  chain->net, kApp, {chain->b->self(), chain->c->self()})
+                  .to_string(),
+              "ok");
+    EXPECT_TRUE(chain->a->is_source(kApp));
+
+    // The heal lifted the cut: a fresh dial across the old partition
+    // boundary works again (B re-feeds C on request).
+    chain->relay_b->add_child(kApp, chain->c->self());
+    chain->relay_a->add_child(kApp, chain->b->self());
+    const u64 before = chain->sink->stats(0).bytes;
+    chain->net.run_for(seconds(2.0));
+    EXPECT_GT(chain->sink->stats(0).bytes, before);
+
+    if (trace_out != nullptr) *trace_out = driver.trace_text();
+  };
+  std::string first, second;
+  run(&first);
+  run(&second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // same plan, byte-identical fault trace
+}
+
+// Loss probability 1.0 (a million ppm) silences the link completely
+// without tearing it down; 0.0 restores it losslessly. Both extremes
+// must keep flow conservation intact.
+TEST(ChaosEdge, LossExtremesSilenceAndRestoreTheLink) {
+  auto chain = make_chain();
+  chain->net.run_for(seconds(2.0));
+  const u64 flowing = chain->sink->stats(0).bytes;
+  EXPECT_GT(flowing, 0u);
+
+  FaultPlan plan;
+  plan.loss(seconds(0.0), "A", "B", 1.0);
+  plan.loss(seconds(4.0), "A", "B", 0.0);
+  SimChaosDriver driver(chain->net, plan, bind(*chain));
+
+  // Total loss: the sink stops advancing (everything A sends to B burns).
+  driver.run_until(chain->net.now() + seconds(1.0));
+  const u64 stalled = chain->sink->stats(0).bytes;
+  chain->net.run_for(seconds(2.0));
+  EXPECT_EQ(chain->sink->stats(0).bytes, stalled);
+  EXPECT_EQ(verify_flow_conservation(chain->net, chain->a->self(),
+                                     chain->b->self())
+                .to_string(),
+            "ok");
+
+  // Loss back to zero: the stream resumes, still conserving flow.
+  driver.run_until(chain->net.now() + seconds(3.0));
+  EXPECT_GT(chain->sink->stats(0).bytes, stalled);
+  EXPECT_EQ(verify_flow_conservation(chain->net, chain->a->self(),
+                                     chain->b->self())
+                .to_string(),
+            "ok");
+  EXPECT_EQ(verify_domino_teardown(chain->net).to_string(), "ok");
+}
+
+// heal with no preceding partition or sever must be a harmless no-op:
+// applied, traced, and invisible to the data plane.
+TEST(ChaosEdge, HealWithoutPriorCutIsANoOp) {
+  auto chain = make_chain();
+  chain->net.run_for(seconds(1.0));
+  const u64 before = chain->sink->stats(0).bytes;
+
+  FaultPlan plan;
+  plan.heal(seconds(0.5));
+  SimChaosDriver driver(chain->net, plan, bind(*chain));
+  driver.run_until(chain->net.now() + seconds(2.0));
+
+  EXPECT_TRUE(driver.done());
+  EXPECT_NE(driver.trace_text().find("heal"), std::string::npos);
+  EXPECT_GT(chain->sink->stats(0).bytes, before);  // stream never blinked
+  EXPECT_EQ(verify_domino_teardown(chain->net).to_string(), "ok");
+}
+
+// Events sharing one timestamp keep their insertion order — through the
+// builder, through to_string()/parse() round-trips, and through two
+// independent executions (the mass-exit shocks of a churn schedule put
+// dozens of faults on the same instant, so this order is load-bearing).
+TEST(ChaosEdge, IdenticalTimestampsKeepInsertionOrder) {
+  FaultPlan plan;
+  plan.sever(seconds(3.0), "A", "B");
+  plan.loss(seconds(3.0), "B", "C", 0.25);
+  plan.kill(seconds(3.0), "C");
+  plan.heal(seconds(3.0));
+  plan.sever(seconds(1.0), "B", "C");  // earlier event sorts first
+
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, FaultKind::kSeverLink);
+  EXPECT_EQ(events[0].a, "B");
+  EXPECT_EQ(events[1].kind, FaultKind::kSeverLink);
+  EXPECT_EQ(events[1].a, "A");
+  EXPECT_EQ(events[2].kind, FaultKind::kSetLoss);
+  EXPECT_EQ(events[3].kind, FaultKind::kKillNode);
+  EXPECT_EQ(events[4].kind, FaultKind::kHeal);
+
+  // DSL round-trip preserves the same-time order byte-for-byte.
+  const auto parsed = FaultPlan::parse(plan.to_string());
+  ASSERT_TRUE(parsed.plan.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.plan->to_string(), plan.to_string());
+
+  // And execution applies them in exactly that order, replayably.
+  auto run_trace = [&] {
+    auto chain = make_chain();
+    SimChaosDriver driver(chain->net, plan, bind(*chain));
+    driver.run_until(seconds(8.0));
+    EXPECT_TRUE(driver.done());
+    return driver.trace_text();
+  };
+  const std::string first = run_trace();
+  EXPECT_EQ(first, run_trace());
+  // The trace lists the t=3 events in insertion order.
+  const auto sever_pos = first.find("sever");
+  const auto second_sever = first.find("sever", sever_pos + 1);
+  const auto loss_pos = first.find("loss");
+  const auto kill_pos = first.find("kill");
+  const auto heal_pos = first.find("heal");
+  ASSERT_NE(second_sever, std::string::npos);
+  EXPECT_LT(second_sever, loss_pos);
+  EXPECT_LT(loss_pos, kill_pos);
+  EXPECT_LT(kill_pos, heal_pos);
+}
+
+}  // namespace
+}  // namespace iov::chaos

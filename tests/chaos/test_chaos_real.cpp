@@ -96,10 +96,9 @@ TEST(ChaosReal, KillMidStreamTearsDownDownstreamSession) {
     EXPECT_TRUE(recovered);
 
     // The flow actually stopped: bytes stop growing once queues drain.
-    sleep_for(seconds(1.0));
-    const u64 settled = chain.sink->stats(0).bytes;
-    sleep_for(seconds(1.0));
-    EXPECT_EQ(chain.sink->stats(0).bytes, settled);
+    EXPECT_TRUE(test::wait_stable<u64>(
+                    [&] { return chain.sink->stats(0).bytes; })
+                    .has_value());
 
     const auto snapshot = obs.metrics().snapshot();
     EXPECT_EQ(counter_value(snapshot, obs::names::kChaosFaultsInjectedTotal,
@@ -154,13 +153,13 @@ TEST(ChaosReal, LossInjectionDropsAndRecovers) {
     ASSERT_TRUE(make_chain(obs, &chain));
 
     // Full loss on A -> B stalls the sink; resetting to 0 revives it.
+    // Wait for the in-flight queues to drain and the byte count to go
+    // quiet rather than guessing a drain time.
     ASSERT_TRUE(obs.set_loss(chain.a->self(), chain.b->self(), 1.0));
-    sleep_for(seconds(1.0));  // let in-flight queues drain
-    const u64 stalled = chain.sink->stats(0).bytes;
-    sleep_for(seconds(1.0));
-    const u64 still = chain.sink->stats(0).bytes;
-    EXPECT_LE(still - stalled, 64u * 1024u)
-        << "sink kept streaming under 100% loss";
+    const auto settled = test::wait_stable<u64>(
+        [&] { return chain.sink->stats(0).bytes; });
+    ASSERT_TRUE(settled.has_value()) << "sink kept streaming under 100% loss";
+    const u64 still = *settled;
 
     ASSERT_TRUE(obs.set_loss(chain.a->self(), chain.b->self(), 0.0));
     EXPECT_TRUE(wait_until(

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "algorithm/relay.h"
@@ -19,6 +20,45 @@ inline bool wait_until(const std::function<bool()>& pred,
   const TimePoint deadline = RealClock::instance().now() + timeout;
   while (RealClock::instance().now() < deadline) {
     if (pred()) return true;
+    sleep_for(millis(5));
+  }
+  return pred();
+}
+
+/// Polls `sample` until its value has held unchanged for `quiet`, or
+/// gives up after `timeout`; returns the stable value, or nullopt if it
+/// never settled. This replaces the flaky "sleep, read, sleep, expect
+/// equal" idiom: instead of hoping one fixed nap outlasts queue drain,
+/// the test waits for drain to actually finish (and a still-moving value
+/// fails by timeout instead of by race).
+template <typename T>
+std::optional<T> wait_stable(const std::function<T()>& sample,
+                             Duration quiet = seconds(1.0),
+                             Duration timeout = seconds(10.0)) {
+  const TimePoint deadline = RealClock::instance().now() + timeout;
+  T last = sample();
+  TimePoint last_change = RealClock::instance().now();
+  while (RealClock::instance().now() < deadline) {
+    sleep_for(millis(10));
+    const T cur = sample();
+    const TimePoint now = RealClock::instance().now();
+    if (cur != last) {
+      last = cur;
+      last_change = now;
+    } else if (now - last_change >= quiet) {
+      return cur;
+    }
+  }
+  return std::nullopt;
+}
+
+/// True if `pred` holds continuously (polled every 5 ms) for `window` —
+/// the positive-assertion twin of wait_until for "X stays true" claims,
+/// catching transient flips a single sleep-then-check would miss.
+inline bool holds_for(const std::function<bool()>& pred, Duration window) {
+  const TimePoint until = RealClock::instance().now() + window;
+  while (RealClock::instance().now() < until) {
+    if (!pred()) return false;
     sleep_for(millis(5));
   }
   return pred();

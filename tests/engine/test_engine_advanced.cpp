@@ -137,7 +137,11 @@ TEST(EngineAdvanced, SwitchWeightsKeepCorrectnessUnderSaturation) {
   a1->deploy_source(1);
   a2->deploy_source(2);
 
-  sleep_for(seconds(1.5));
+  // Poll for both flows clearing the bar instead of betting on one
+  // fixed-length nap being enough on a loaded machine.
+  EXPECT_TRUE(test::wait_until(
+      [&] { return sink1->stats(0).msgs > 100 && sink2->stats(0).msgs > 100; },
+      seconds(10.0)));
   a1->stop();
   a2->stop();
   const auto s1 = sink1->stats(0);

@@ -129,6 +129,9 @@ TEST(EngineFailures, BystanderFlowsUndisturbedByTermination) {
 
   a.engine->stop();
   a.engine->join();
+  // Bounded drain window for A's queued tail (the sink aggregates both
+  // flows, so its count never goes quiet while B streams); the growth
+  // asserted below is then B's flow.
   sleep_for(millis(100));
   const u64 before = sink->stats(0).msgs;
   ASSERT_TRUE(wait_until([&] { return sink->stats(0).msgs > before + 50; }));
@@ -147,9 +150,11 @@ TEST(EngineFailures, DeliberateCloseLinkDoesNotRaiseBrokenLinkLocally) {
   a.engine->deploy_source(kApp);
   ASSERT_TRUE(wait_until([&] { return !a.engine->snapshot().links.empty(); }));
 
-  // The algorithm decides to drop the link; locally this is not a failure.
+  // The algorithm decides to drop the link; locally this is not a
+  // failure. Wait for the termination to land (source flag clears) and
+  // the last queued sends to drain before removing the child.
   a.engine->terminate_source(kApp);
-  sleep_for(millis(100));
+  ASSERT_TRUE(wait_until([&] { return !a.engine->is_source(kApp); }));
   a.engine->post(Msg::control(MsgType::kControl, NodeId(), kControlApp,
                               RelayAlgorithm::kRemoveChild,
                               static_cast<i32>(kApp), b_id.to_string()));

@@ -120,10 +120,11 @@ TEST(Observer, ControlPanelDeploysAndTerminates) {
   ASSERT_TRUE(wait_until([&] { return sink->stats(0).msgs > 20; }));
 
   ASSERT_TRUE(obs.terminate_source(a.engine->self(), kApp));
-  sleep_for(millis(150));
-  const u64 frozen = sink->stats(0).msgs;
-  sleep_for(millis(300));
-  EXPECT_LE(sink->stats(0).msgs, frozen + 2);
+  // The stream freezes once the terminate lands and queues drain: wait
+  // for the delivery count to go quiet instead of napping a fixed time.
+  EXPECT_TRUE(test::wait_stable<u64>([&] { return sink->stats(0).msgs; },
+                                     millis(300))
+                  .has_value());
 }
 
 TEST(Observer, SetBandwidthThrottlesNode) {

@@ -1,0 +1,103 @@
+// The churn generator: pure, seeded, flash-crowd shaped. These are the
+// schedule-level properties; the scenario runner tests live in
+// test_streaming_churn.cpp.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "scenario/churn.h"
+
+namespace iov::scenario {
+namespace {
+
+ChurnConfig small_config(u64 seed) {
+  ChurnConfig c;
+  c.viewers = 200;
+  c.seed = seed;
+  c.waves = 3;
+  c.wave_spacing = seconds(6.0);
+  c.wave_spread = seconds(2.0);
+  c.mean_session_seconds = 10.0;
+  c.depart_fraction = 0.4;
+  c.correlated_fraction = 0.3;
+  c.shocks = 2;
+  c.horizon = seconds(25.0);
+  return c;
+}
+
+TEST(ChurnSchedule, SameSeedSameSchedule) {
+  const ChurnSchedule a = generate_churn(small_config(7));
+  const ChurnSchedule b = generate_churn(small_config(7));
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_FALSE(a.events.empty());
+}
+
+TEST(ChurnSchedule, DifferentSeedsDiffer) {
+  const ChurnSchedule a = generate_churn(small_config(7));
+  const ChurnSchedule b = generate_churn(small_config(8));
+  EXPECT_NE(a.to_string(), b.to_string());
+}
+
+TEST(ChurnSchedule, EmptyConfigsYieldEmptySchedules) {
+  ChurnConfig c = small_config(1);
+  c.viewers = 0;
+  EXPECT_TRUE(generate_churn(c).events.empty());
+  c = small_config(1);
+  c.horizon = 0;
+  EXPECT_TRUE(generate_churn(c).events.empty());
+}
+
+class ChurnScheduleSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChurnScheduleSeeds, WellFormed) {
+  const ChurnConfig config = small_config(GetParam());
+  const ChurnSchedule s = generate_churn(config);
+
+  // Time-sorted, inside the horizon.
+  Duration prev = 0;
+  for (const ChurnEvent& e : s.events) {
+    EXPECT_GE(e.at, prev);
+    EXPECT_LT(e.at, config.horizon);
+    EXPECT_LT(e.viewer, config.viewers);
+    prev = e.at;
+  }
+
+  // Per-viewer lifecycle: first event is the only join; a depart is
+  // final; drops and departs only after the join.
+  std::map<std::size_t, std::vector<ChurnAction>> per_viewer;
+  for (const ChurnEvent& e : s.events) {
+    per_viewer[e.viewer].push_back(e.action);
+  }
+  for (const auto& [viewer, actions] : per_viewer) {
+    EXPECT_EQ(actions.front(), ChurnAction::kJoin) << "viewer " << viewer;
+    for (std::size_t i = 1; i < actions.size(); ++i) {
+      EXPECT_NE(actions[i], ChurnAction::kJoin) << "viewer " << viewer;
+      if (actions[i] == ChurnAction::kDepart) {
+        EXPECT_EQ(i, actions.size() - 1) << "viewer " << viewer;
+      }
+    }
+  }
+
+  // The flash crowd actually happened: most viewers joined, and both
+  // churn flavours occur at these rates.
+  EXPECT_GT(s.count(ChurnAction::kJoin), config.viewers / 2);
+  EXPECT_GT(s.count(ChurnAction::kDrop), 0u);
+  EXPECT_GT(s.count(ChurnAction::kDepart), 0u);
+
+  // Correlated exits: at least one shock instant shared by several
+  // non-join events (identical timestamps).
+  std::map<Duration, std::size_t> exits_at;
+  for (const ChurnEvent& e : s.events) {
+    if (e.action != ChurnAction::kJoin) exits_at[e.at]++;
+  }
+  std::size_t best = 0;
+  for (const auto& [at, n] : exits_at) best = std::max(best, n);
+  EXPECT_GE(best, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnScheduleSeeds,
+                         ::testing::Values(1, 2, 3, 17, 100003));
+
+}  // namespace
+}  // namespace iov::scenario

@@ -1,0 +1,146 @@
+// The flash-crowd streaming churn harness on the deterministic simulator
+// at medium scale: continuity accounting, tree-shape evolution, the
+// streaming verify predicates, and same-seed replay identity.
+#include <gtest/gtest.h>
+
+#include "obs/metric_names.h"
+#include "scenario/streaming_churn.h"
+#include "scenario/verify_streaming.h"
+
+namespace iov::scenario {
+namespace {
+
+StreamingChurnConfig medium_config(u64 seed, std::size_t viewers = 80) {
+  StreamingChurnConfig c;
+  c.churn.viewers = viewers;
+  c.churn.seed = seed;
+  c.churn.waves = 3;
+  c.churn.wave_spacing = seconds(6.0);
+  c.churn.wave_spread = seconds(2.0);
+  c.churn.mean_session_seconds = 10.0;
+  c.churn.depart_fraction = 0.35;
+  c.churn.correlated_fraction = 0.25;
+  c.churn.shocks = 2;
+  c.churn.horizon = seconds(20.0);
+  c.settle = seconds(8.0);
+  return c;
+}
+
+TEST(StreamingChurn, SurvivorsRecoverAndReceive) {
+  const StreamingChurnConfig config = medium_config(11);
+  const StreamingChurnResult r = run_sim_streaming_churn(config);
+
+  // The scenario actually churned.
+  EXPECT_GT(r.schedule.count(ChurnAction::kJoin), 40u);
+  EXPECT_GT(r.schedule.count(ChurnAction::kDrop), 0u);
+  EXPECT_GT(r.schedule.count(ChurnAction::kDepart), 0u);
+  EXPECT_FALSE(r.plan_text.empty());
+  EXPECT_FALSE(r.trace.empty());
+  EXPECT_FALSE(r.shape.empty());
+
+  // Final quiescent point: tree invariants hold and nobody is orphaned.
+  EXPECT_TRUE(r.verify_failures.empty())
+      << "verify failures:\n"
+      << [&] {
+           std::string all;
+           for (const auto& f : r.verify_failures) all += f + "\n";
+           return all;
+         }();
+  EXPECT_EQ(r.permanent_orphans(), 0u);
+
+  // Data flowed; every surviving viewer saw frames.
+  EXPECT_GT(r.frames_delivered(), 0u);
+  for (const auto& v : r.viewers) {
+    if (!v.ever_joined || v.departed) continue;
+    EXPECT_GT(v.continuity.frames, 0u) << "viewer " << v.viewer;
+    EXPECT_GE(v.continuity.first_packet_latency, 0.0)
+        << "viewer " << v.viewer;
+  }
+
+  // Rejoins were observed and measured.
+  EXPECT_FALSE(r.rejoin_latencies().empty());
+
+  // Continuity stayed bounded: no viewer silent longer than the horizon,
+  // and the worst gap reflects recovery, not permanent loss.
+  const chaos::VerifyResult gaps = chaos::verify_bounded_gap_seconds(
+      r, to_seconds(config.churn.horizon));
+  EXPECT_TRUE(gaps.ok) << gaps.to_string();
+}
+
+TEST(StreamingChurn, SameSeedReplaysByteIdentical) {
+  const StreamingChurnConfig config = medium_config(23, 60);
+  const StreamingChurnResult a = run_sim_streaming_churn(config);
+  const StreamingChurnResult b = run_sim_streaming_churn(config);
+  EXPECT_EQ(a.schedule.to_string(), b.schedule.to_string());
+  EXPECT_EQ(a.plan_text, b.plan_text);
+  EXPECT_EQ(a.trace_text(), b.trace_text());
+  EXPECT_EQ(a.metrics_text, b.metrics_text);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(StreamingChurn, DifferentSeedsDiverge) {
+  const StreamingChurnResult a = run_sim_streaming_churn(medium_config(5, 40));
+  const StreamingChurnResult b = run_sim_streaming_churn(medium_config(6, 40));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(StreamingChurn, MetricsExported) {
+  const StreamingChurnResult r = run_sim_streaming_churn(medium_config(3, 40));
+  for (const char* name :
+       {obs::names::kStreamChurnEventsTotal, obs::names::kStreamFramesTotal,
+        obs::names::kStreamFirstPacketSeconds,
+        obs::names::kStreamGapSeconds, obs::names::kStreamViewersInTree,
+        obs::names::kStreamTreeDepth, obs::names::kStreamTreeDegreeMax}) {
+    EXPECT_NE(r.metrics_text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(StreamingChurn, ShapeCurveTracksTheCrowd) {
+  const StreamingChurnResult r = run_sim_streaming_churn(medium_config(9));
+  // The crowd grew: peak in-tree count well above the first sample's.
+  std::size_t peak = 0;
+  for (const auto& s : r.shape) peak = std::max(peak, s.in_tree);
+  EXPECT_GT(peak, 30u);
+  // The final sample is quiescent: everyone wanting is in the tree.
+  const TreeShapeSample& last = r.shape.back();
+  EXPECT_EQ(last.orphans, 0u);
+  EXPECT_EQ(last.in_tree, last.wanting);
+  EXPECT_GE(last.depth, 1u);
+  EXPECT_GE(last.max_degree, 1u);
+}
+
+// Seeded property matrix: the core robustness claims hold across seeds
+// and strategies, not just on one lucky draw.
+struct MatrixParam {
+  u64 seed;
+  trees::TreeStrategy strategy;
+};
+
+class StreamingChurnMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(StreamingChurnMatrix, NoOrphansBoundedGaps) {
+  StreamingChurnConfig config = medium_config(GetParam().seed, 50);
+  config.strategy = GetParam().strategy;
+  const StreamingChurnResult r = run_sim_streaming_churn(config);
+  EXPECT_TRUE(r.verify_failures.empty()) << [&] {
+    std::string all;
+    for (const auto& f : r.verify_failures) all += f + "\n";
+    return all;
+  }();
+  EXPECT_EQ(r.permanent_orphans(), 0u);
+  EXPECT_GT(r.frames_delivered(), 0u);
+  const chaos::VerifyResult gaps = chaos::verify_bounded_gap_seconds(
+      r, to_seconds(config.churn.horizon));
+  EXPECT_TRUE(gaps.ok) << gaps.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, StreamingChurnMatrix,
+    ::testing::Values(
+        MatrixParam{101, trees::TreeStrategy::kRandomized},
+        MatrixParam{102, trees::TreeStrategy::kRandomized},
+        MatrixParam{103, trees::TreeStrategy::kAllUnicast},
+        MatrixParam{104, trees::TreeStrategy::kNsAware}));
+
+}  // namespace
+}  // namespace iov::scenario

@@ -1,0 +1,51 @@
+// The acceptance-scale scenario: a 10k-viewer flash crowd on the
+// deterministic simulator, run twice from the same seed — the two runs
+// must be byte-identical (schedule, executed fault plan, chaos trace,
+// shape curve, per-viewer continuity, verify output, and the metrics
+// snapshot all fingerprint the same). Labeled `slow`; excluded from the
+// tier-1 sweep but run by the full ctest.
+#include <gtest/gtest.h>
+
+#include "scenario/streaming_churn.h"
+
+namespace iov::scenario {
+namespace {
+
+StreamingChurnConfig flash_crowd_10k(u64 seed) {
+  StreamingChurnConfig c;
+  c.churn.viewers = 10000;
+  c.churn.seed = seed;
+  c.churn.waves = 3;
+  c.churn.wave_spacing = seconds(4.0);
+  c.churn.wave_spread = seconds(2.0);
+  c.churn.mean_session_seconds = 30.0;  // most viewers outlive the horizon
+  c.churn.depart_fraction = 0.3;
+  c.churn.correlated_fraction = 0.2;
+  c.churn.shocks = 2;
+  c.churn.horizon = seconds(12.0);
+  c.fps = 1;  // keep the data plane affordable at this node count
+  c.settle = seconds(6.0);
+  return c;
+}
+
+TEST(StreamingChurn10k, SameSeedByteIdenticalReplay) {
+  const StreamingChurnConfig config = flash_crowd_10k(42);
+  const StreamingChurnResult a = run_sim_streaming_churn(config);
+
+  // The flash crowd actually formed and streamed.
+  EXPECT_GT(a.schedule.count(ChurnAction::kJoin), 9000u);
+  EXPECT_GT(a.frames_delivered(), 10000u);
+  std::size_t peak = 0;
+  for (const auto& s : a.shape) peak = std::max(peak, s.in_tree);
+  EXPECT_GT(peak, 5000u);
+
+  const StreamingChurnResult b = run_sim_streaming_churn(config);
+  EXPECT_EQ(a.schedule.to_string(), b.schedule.to_string());
+  EXPECT_EQ(a.plan_text, b.plan_text);
+  EXPECT_EQ(a.trace_text(), b.trace_text());
+  EXPECT_EQ(a.metrics_text, b.metrics_text);
+  ASSERT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace iov::scenario

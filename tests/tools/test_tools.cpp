@@ -130,12 +130,16 @@ TEST(Tools, ObserverAndNodesRunAsProcesses) {
   observer->write_line("control 127.0.0.1:7912 1 1 127.0.0.1:7913");
   observer->write_line("join 127.0.0.1:7913 1");
   observer->write_line("deploy 127.0.0.1:7912 1");
-  sleep_for(seconds(1.0));
-  observer->write_line("list");
+  // Poll `list` until the source's report shows it sourcing app 1
+  // (node reports arrive on their own cadence; a fixed nap races them).
+  bool sourcing = false;
+  const TimePoint deploy_deadline = RealClock::instance().now() + seconds(10.0);
+  while (!sourcing && RealClock::instance().now() < deploy_deadline) {
+    observer->write_line("list");
+    sourcing = wait_for_output(*observer, obs_out, "src=1", seconds(1.0));
+  }
+  EXPECT_TRUE(sourcing) << obs_out;
   ASSERT_TRUE(wait_for_output(*observer, obs_out, "2 alive", seconds(5.0)));
-  // The source reports itself as sourcing app 1 and feeding one
-  // downstream.
-  EXPECT_NE(obs_out.find("src=1"), std::string::npos) << obs_out;
 
   // Topology dump shows the edge.
   observer->write_line("dot");
@@ -187,9 +191,15 @@ TEST(Tools, ChaosConsoleCommandsDriveLiveNodes) {
   observer->write_line("control 127.0.0.1:7923 1 1 127.0.0.1:7924");
   observer->write_line("join 127.0.0.1:7924 1");
   observer->write_line("deploy 127.0.0.1:7922 1");
-  sleep_for(seconds(1.0));
-  observer->write_line("list");
-  ASSERT_TRUE(wait_for_output(*observer, obs_out, "3 alive", seconds(5.0)));
+  // Same polling idiom as above: repeat `list` until all three nodes
+  // have reported in.
+  bool all_alive = false;
+  const TimePoint boot_deadline = RealClock::instance().now() + seconds(10.0);
+  while (!all_alive && RealClock::instance().now() < boot_deadline) {
+    observer->write_line("list");
+    all_alive = wait_for_output(*observer, obs_out, "3 alive", seconds(1.0));
+  }
+  ASSERT_TRUE(all_alive) << obs_out;
 
   // Inject a link failure at the relay: the console acknowledges, and
   // every process stays up (sever is a fault, not a kill).

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_streaming.json at the repo root: the
+# flash-crowd streaming churn scenario at three churn rates on the
+# deterministic simulator (rejoin percentiles, per-viewer gap seconds,
+# tree depth/degree curves — see docs/SCENARIOS.md).
+#
+#   tools/run_streaming_churn.sh                  # Release build, full run
+#   tools/run_streaming_churn.sh --smoke          # fast CI variant
+#   tools/run_streaming_churn.sh --build-dir <d>  # reuse an existing
+#                                                 # configured build tree
+#
+# With --smoke the artifact goes to the build tree, not the repo root, so
+# a quick check never clobbers the committed full-size numbers. The
+# `run_streaming_churn` ctest (label: slow) runs this script in smoke
+# mode against the current build directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+BUILD=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --build-dir) BUILD=$2; shift ;;
+    *) echo "usage: $0 [--smoke] [--build-dir <dir>]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BUILD" ]]; then
+  BUILD=build-release
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target bench_streaming
+
+if [[ "$SMOKE" == 1 ]]; then
+  "$BUILD"/bench/bench_streaming --smoke \
+      --out "$BUILD"/BENCH_streaming_smoke.json
+else
+  "$BUILD"/bench/bench_streaming --out BENCH_streaming.json
+fi
