@@ -1,0 +1,273 @@
+// Scale harness for the shared epoll reactor (DESIGN.md §9): N real
+// engines in one process, every link a real loopback TCP connection,
+// arranged as a fanout-8 dissemination tree (parent of node i is
+// (i-1)/8). The root streams a CBR feed; every interior node relays it
+// to its children and every leaf consumes it through a SinkApp.
+//
+// What this measures — the resource budgets the reactor exists to fix:
+//   * OS threads: one engine thread per node + the fixed reactor pool,
+//     INDEPENDENT of the node×peer count (legacy mode needs two more
+//     threads per link per side, ~5x the process total at fanout 8).
+//   * open fds: listener + wake eventfd + one socket per link end.
+//   * VmRSS per node.
+// plus delivery: distinct messages and corruption at the leaf sinks
+// (payload pattern check), so a silently-wedged tree cannot pass.
+//
+// Budgets asserted (exit non-zero on violation):
+//   * threads <= nodes + reactor workers + 16 slack — i.e. ZERO
+//     per-link threads;
+//   * fds <= 4 per node + 2 per link + 64 slack;
+//   * every leaf sink saw data, no corruption anywhere.
+//
+// Flags:
+//   --nodes <n>   tree size (default 1000)
+//   --secs <s>    measured window after the tree settles (default 5)
+//   --out <path>  JSON artifact (default BENCH_scale.json)
+//   --smoke       ~15 s CI variant: 200 nodes, short window (the tier-1
+//                 gate; the committed BENCH_scale.json comes from a full
+//                 1000-node run)
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithm/relay.h"
+#include "apps/sink.h"
+#include "apps/source.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace iov;         // NOLINT
+using namespace iov::bench;  // NOLINT
+using engine::Engine;
+using engine::EngineConfig;
+
+constexpr u32 kApp = 1;
+constexpr std::size_t kFanout = 8;
+constexpr std::size_t kPayload = 1024;
+
+std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n > 0 ? n - 3 : 0;  // ".", "..", the DIR's own fd
+}
+
+std::size_t thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+
+/// VmRSS in bytes.
+std::size_t rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoul(line.substr(6))) * 1024;
+    }
+  }
+  return 0;
+}
+
+struct Node {
+  std::unique_ptr<Engine> engine;
+  RelayAlgorithm* relay = nullptr;
+  std::shared_ptr<apps::SinkApp> sink;  // leaves only
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nodes_n = 1000;
+  double secs = 5.0;
+  std::string out = "BENCH_scale.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes_n = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--secs") == 0 && i + 1 < argc) {
+      secs = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      nodes_n = 200;
+      secs = 2.0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--nodes n] [--secs s] [--out path] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  print_header(
+      strf("Reactor scale: %zu real-socket nodes, fanout-%zu tree",
+           nodes_n, kFanout)
+          .c_str(),
+      "total OS threads independent of node x peer count (DESIGN.md 9)");
+
+  RealClock clock;
+  const std::size_t fd_base = open_fd_count();
+  const std::size_t thread_base = thread_count();
+  const std::size_t rss_base = rss_bytes();
+
+  // Per-node queues stay small: 1000 nodes x deep buffers would swamp
+  // RSS and hide the per-node fixed cost this bench is budgeting.
+  EngineConfig config;
+  config.recv_buffer_msgs = 16;
+  config.send_buffer_msgs = 16;
+  config.default_switch_weight = 8;
+  // A 1000-node tree does not need 256 KB of locked socket buffer per
+  // link end on loopback; 32 KB keeps kernel memory proportional too.
+  config.socket_buffer_bytes = 32 * 1024;
+  // No observer: reports would be 1000 streams of control traffic.
+  config.report_interval = seconds(3600.0);
+
+  std::vector<Node> nodes;
+  nodes.reserve(nodes_n);
+  for (std::size_t i = 0; i < nodes_n; ++i) {
+    auto algorithm = std::make_unique<RelayAlgorithm>();
+    Node n;
+    n.relay = algorithm.get();
+    n.engine = std::make_unique<Engine>(config, std::move(algorithm));
+    const bool leaf = kFanout * i + 1 >= nodes_n;
+    if (leaf) {
+      n.sink = std::make_shared<apps::SinkApp>(kPayload);
+      n.engine->register_app(kApp, n.sink);
+    } else if (i == 0) {
+      // ~64 KB/s CBR: enough to keep every link active for the whole
+      // window without saturating a 1-core CI box at depth 4.
+      n.engine->register_app(
+          kApp, std::make_shared<apps::CbrSource>(kPayload, 64 * 1024.0));
+    }
+    if (!n.engine->start()) {
+      std::fprintf(stderr, "FAIL: node %zu failed to start\n", i);
+      return 1;
+    }
+    nodes.push_back(std::move(n));
+  }
+
+  // Wire the tree: parent relays to child; leaves consume.
+  for (std::size_t i = 1; i < nodes_n; ++i) {
+    nodes[(i - 1) / kFanout].relay->add_child(kApp,
+                                              nodes[i].engine->self());
+  }
+  for (auto& n : nodes) {
+    if (n.sink) n.relay->set_consume(kApp, true);
+  }
+  nodes[0].engine->deploy_source(kApp);
+
+  // Let the dial wave finish (every link is created by the first
+  // message crossing it), then measure a steady window.
+  sleep_for(seconds(smoke ? 2.0 : 5.0));
+  u64 d0 = 0;
+  for (const auto& n : nodes) {
+    if (n.sink) d0 += n.sink->stats(clock.now()).distinct;
+  }
+  const TimePoint t0 = clock.now();
+  sleep_for(seconds(secs));
+  const double elapsed = to_seconds(clock.now() - t0);
+
+  const std::size_t threads = thread_count() - thread_base;
+  const std::size_t fds = open_fd_count() - fd_base;
+  const std::size_t rss = rss_bytes() - rss_base;
+  std::size_t links = 0;
+  u64 delivered = 0;
+  u64 corrupt = 0;
+  std::size_t leaves = 0;
+  std::size_t starved_leaves = 0;
+  for (const auto& n : nodes) {
+    links += n.engine->snapshot().links.size();
+    if (!n.sink) continue;
+    ++leaves;
+    const auto s = n.sink->stats(clock.now());
+    delivered += s.distinct;
+    corrupt += s.corrupt;
+    if (s.distinct == 0) ++starved_leaves;
+  }
+  links /= 2;  // every link counted once per side
+  const double leaf_rate =
+      static_cast<double>(delivered - d0) / elapsed / leaves;
+
+  for (auto& n : nodes) n.engine->stop();
+  for (auto& n : nodes) n.engine->join();
+
+  print_row({"nodes", "links", "threads", "fds", "rss-mb", "leaf-msg/s"},
+            12);
+  print_row({std::to_string(nodes_n), std::to_string(links),
+             std::to_string(threads), std::to_string(fds),
+             strf("%.1f", rss / 1e6), strf("%.1f", leaf_rate)},
+            12);
+  std::printf("per node: %.2f threads, %.2f fds, %.1f KB RSS\n",
+              static_cast<double>(threads) / nodes_n,
+              static_cast<double>(fds) / nodes_n,
+              static_cast<double>(rss) / nodes_n / 1024.0);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"scale\",\n"
+               "  \"nodes\": %zu,\n  \"links\": %zu,\n  \"fanout\": %zu,\n"
+               "  \"payload_bytes\": %zu,\n"
+               "  \"threads\": %zu,\n  \"threads_per_node\": %.3f,\n"
+               "  \"fds\": %zu,\n  \"fds_per_node\": %.3f,\n"
+               "  \"rss_bytes\": %zu,\n  \"rss_per_node_kb\": %.1f,\n"
+               "  \"leaves\": %zu,\n  \"delivered_distinct\": %llu,\n"
+               "  \"leaf_msgs_per_sec\": %.2f,\n  \"corrupt\": %llu\n}\n",
+               nodes_n, links, kFanout, kPayload, threads,
+               static_cast<double>(threads) / nodes_n, fds,
+               static_cast<double>(fds) / nodes_n, rss,
+               static_cast<double>(rss) / nodes_n / 1024.0, leaves,
+               static_cast<unsigned long long>(delivered), leaf_rate,
+               static_cast<unsigned long long>(corrupt));
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  // --- Budgets ---------------------------------------------------------------
+  bool fail = false;
+  // Zero per-link threads: one engine thread per node, the fixed pool,
+  // and slack for the observer-retry machinery. Legacy mode would need
+  // +4 threads per tree edge and blow through this immediately.
+  const std::size_t thread_budget = nodes_n + 16;
+  if (threads > thread_budget) {
+    std::fprintf(stderr, "FAIL: %zu threads > budget %zu\n", threads,
+                 thread_budget);
+    fail = true;
+  }
+  const std::size_t fd_budget = 4 * nodes_n + 2 * links + 64;
+  if (fds > fd_budget) {
+    std::fprintf(stderr, "FAIL: %zu fds > budget %zu\n", fds, fd_budget);
+    fail = true;
+  }
+  if (starved_leaves > 0) {
+    std::fprintf(stderr, "FAIL: %zu of %zu leaves saw no data\n",
+                 starved_leaves, leaves);
+    fail = true;
+  }
+  if (corrupt > 0) {
+    std::fprintf(stderr, "FAIL: %llu corrupt payloads\n",
+                 static_cast<unsigned long long>(corrupt));
+    fail = true;
+  }
+  return fail ? 1 : 0;
+}

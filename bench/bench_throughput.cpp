@@ -95,6 +95,12 @@ Node make_node(bool batched) {
   config.socket_buffer_bytes = 256 * 1024;
   config.wire_batch_msgs = batched ? 32 : 1;
   config.wire_bulk_reader = batched;
+  // The legacy rows are the full pre-change configuration: per-message
+  // syscalls AND the thread-per-link substrate. The reactor ignores
+  // wire_bulk_reader (it always runs the bulk decoder), so leaving it
+  // on the default substrate would silently re-batch the reads this
+  // row exists to ablate.
+  config.reactor_threads = batched ? -1 : 0;
   n.engine = std::make_unique<Engine>(config, std::move(algorithm));
   return n;
 }

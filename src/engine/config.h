@@ -115,6 +115,21 @@ struct EngineConfig {
   /// signals ENOBUFS. Wire bytes are identical either way.
   std::size_t wire_zerocopy_min_bytes = 0;
 
+  /// Size of the shared epoll reactor pool driving every PeerLink socket
+  /// (DESIGN.md §9). The pool is process-wide — the first engine started
+  /// fixes its size, and all reactor-mode engines in the process share
+  /// it, so total OS threads are `pool + one engine thread per node`
+  /// regardless of how many links exist.
+  ///   < 0  auto: min(4, hardware_concurrency) workers (the default)
+  ///     0  legacy thread-per-link mode (two blocking threads per peer
+  ///        connection) — the interop/rollback baseline
+  ///   > 0  exactly this many workers
+  /// Reactor and legacy nodes interoperate freely: the wire bytes are
+  /// identical, only the threading model differs. Note the reactor send
+  /// path ignores wire_zerocopy_min_bytes (MSG_ZEROCOPY completion
+  /// reaping needs a dedicated sender thread to be worth it).
+  int reactor_threads = -1;
+
   /// When set, kTrace output is appended to this local file *instead of*
   /// being sent to the observer ("if the volume of traces becomes large,
   /// it may be more favorable to log them locally at each node, in which

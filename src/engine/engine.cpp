@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "net/reactor/reactor.h"
 #include "obs/metric_names.h"
 
 namespace iov::engine {
@@ -18,6 +19,10 @@ namespace {
 constexpr Duration kIdlePollTimeout = millis(50);
 constexpr Duration kHelloTimeout = seconds(1.0);
 constexpr Duration kObserverRetry = seconds(1.0);
+/// How long the listener sits out of the poll set after EMFILE/ENFILE on
+/// accept — long enough for fds to free up, short enough that peers'
+/// connect attempts (still queued in the kernel backlog) aren't dropped.
+constexpr Duration kAcceptBackoff = millis(100);
 }  // namespace
 
 Engine::Engine(EngineConfig config, std::unique_ptr<Algorithm> algorithm)
@@ -35,7 +40,12 @@ Engine::Engine(EngineConfig config, std::unique_ptr<Algorithm> algorithm)
       reports_sent_(metrics_.counter(obs::names::kEngineReportsSentTotal)),
       traces_sent_(metrics_.counter(obs::names::kEngineTracesTotal)),
       link_closes_(metrics_.counter(obs::names::kEngineLinkClosesTotal)),
-      link_failures_(metrics_.counter(obs::names::kEngineLinkFailuresTotal)) {
+      link_failures_(metrics_.counter(obs::names::kEngineLinkFailuresTotal)),
+      engine_threads_(metrics_.gauge(obs::names::kEngineThreads)),
+      engine_open_fds_(metrics_.gauge(obs::names::kEngineOpenFds)) {
+  // Register the reactor lag histogram up front so every node's kReport
+  // carries the metric even before its first link exists.
+  metrics_.histogram(obs::names::kReactorLoopLagSeconds);
   slab_pool_.set_metrics(
       &metrics_.counter(obs::names::kPoolSlabAcquiresTotal,
                         {{"result", "hit"}}),
@@ -53,6 +63,21 @@ Engine::~Engine() {
 
 bool Engine::start() {
   suppress_sigpipe();
+  // A process hosting many nodes needs an fd per link; lift the soft
+  // RLIMIT_NOFILE to the hard cap before the first socket is made.
+  const u64 fd_cap = raise_nofile_limit();
+  if (config_.reactor_threads != 0) {
+    reactor_ = &reactor::Reactor::shared(config_.reactor_threads);
+  }
+  static std::once_flag boot_log_once;
+  std::call_once(boot_log_once, [&] {
+    IOV_LOG_INFO("engine") << "socket path: "
+                           << (reactor_ != nullptr
+                                   ? strf("shared epoll reactor, %d worker(s)",
+                                          reactor_->threads())
+                                   : std::string("legacy thread-per-link"))
+                           << "; fd cap " << fd_cap;
+  });
   auto listener = TcpListener::listen(config_.port, config_.loopback_only,
                                       128, config_.socket_buffer_bytes);
   if (!listener) return false;
@@ -209,7 +234,11 @@ void Engine::engine_main() {
 void Engine::poll_once(Duration timeout) {
   std::vector<pollfd> fds;
   fds.push_back({wake_fd_.get(), POLLIN, 0});
-  fds.push_back({listener_.fd(), POLLIN, 0});
+  // During fd-exhaustion backoff the listener sits out of the poll set
+  // (a negative fd is ignored by poll); pending connects stay queued in
+  // the kernel backlog instead of spinning accept -> EMFILE.
+  const bool accepting = clock_->now() >= accept_backoff_until_;
+  fds.push_back({accepting ? listener_.fd() : -1, POLLIN, 0});
   const std::size_t observer_idx = fds.size();
   if (observer_conn_) fds.push_back({observer_conn_->fd(), POLLIN, 0});
   const std::size_t control_base = fds.size();
@@ -254,7 +283,18 @@ void Engine::poll_once(Duration timeout) {
 }
 
 void Engine::handle_accept() {
-  while (auto conn = listener_.accept()) {
+  while (true) {
+    errno = 0;
+    auto conn = listener_.accept();
+    if (!conn) {
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: not fatal. Back off, let links close and
+        // free fds, and retry; the node itself stays up.
+        accept_backoff_until_ = clock_->now() + kAcceptBackoff;
+        log_fd_exhaustion("accept");
+      }
+      return;
+    }
     if (!wait_readable(conn->fd(), kHelloTimeout)) continue;  // drop
     const auto hello = read_hello(*conn);
     if (!hello) continue;  // bad magic: drop
@@ -264,6 +304,16 @@ void Engine::handle_accept() {
       control_conns_.push_back(std::move(*conn));
     }
   }
+}
+
+void Engine::log_fd_exhaustion(const char* where) {
+  const TimePoint t = clock_->now();
+  if (t - last_fd_warn_ < seconds(1.0) && last_fd_warn_ != 0) return;
+  last_fd_warn_ = t;
+  IOV_LOG_WARN("engine") << self_.to_string()
+                         << ": out of file descriptors (" << where
+                         << "); backing off and retrying (process fd cap "
+                         << raise_nofile_limit() << ")";
 }
 
 void Engine::adopt_persistent(const NodeId& peer, TcpConn conn) {
@@ -276,7 +326,9 @@ void Engine::adopt_persistent(const NodeId& peer, TcpConn conn) {
   }
   auto link = std::make_unique<PeerLink>(
       self_, peer, std::move(conn), config_, bandwidth_, *clock_, *this,
-      metrics_, config_.wire_payload_pool ? &slab_pool_ : nullptr);
+      metrics_, config_.wire_payload_pool ? &slab_pool_ : nullptr,
+      reactor_ != nullptr ? &reactor_->pick() : nullptr,
+      /*dial_pending=*/false);
   PeerLink* raw = link.get();
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -308,9 +360,35 @@ void Engine::remove_link(const NodeId& peer) {
 
 PeerLink* Engine::get_or_dial(const NodeId& dest) {
   if (PeerLink* existing = find_link(dest)) return existing;
+  if (reactor_ != nullptr) {
+    // Reactor path: non-blocking connect. The link exists immediately
+    // (messages queue into its send buffer); the worker completes the
+    // TCP handshake + hello asynchronously, and a failed connect surfaces
+    // as kPeerFailed -> the usual kBrokenLink teardown.
+    auto conn = TcpConn::connect_start(dest, config_.socket_buffer_bytes);
+    if (!conn) {
+      if (errno == EMFILE || errno == ENFILE) log_fd_exhaustion("dial");
+      return nullptr;
+    }
+    auto link = std::make_unique<PeerLink>(
+        self_, dest, std::move(*conn), config_, bandwidth_, *clock_, *this,
+        metrics_, config_.wire_payload_pool ? &slab_pool_ : nullptr,
+        &reactor_->pick(), /*dial_pending=*/true);
+    PeerLink* raw = link.get();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      links_[dest] = std::move(link);
+    }
+    rr_dirty_ = true;
+    raw->start();
+    return raw;
+  }
   auto conn = TcpConn::connect(dest, config_.connect_timeout,
                                config_.socket_buffer_bytes);
-  if (!conn) return nullptr;
+  if (!conn) {
+    if (errno == EMFILE || errno == ENFILE) log_fd_exhaustion("dial");
+    return nullptr;
+  }
   if (!write_hello(*conn, Hello{ConnKind::kPersistent, self_})) return nullptr;
   adopt_persistent(dest, std::move(*conn));
   return find_link(dest);
@@ -474,7 +552,9 @@ void Engine::propagate_broken_source(u32 app, const NodeId& origin) {
   }
   for (const auto& target : targets) {
     if (PeerLink* link = find_link(target)) {
-      if (!link->send_buffer().try_push(notice)) {
+      if (link->send_buffer().try_push(notice)) {
+        link->notify_send();
+      } else {
         control_backlog_[target].push_back(notice);
       }
     }
@@ -542,6 +622,19 @@ void Engine::run_periodic() {
                          {link->up_meter().rate(t), link->down_meter().rate(t)}});
       }
     }
+
+    // Resource-budget gauges (docs/METRICS.md). Threads: the engine
+    // thread, plus two per link only in legacy mode — the whole point of
+    // the reactor is that this gauge stays flat as links grow (the shared
+    // pool is process-wide and not attributable to one node). Fds: the
+    // listener, the wake eventfd, one per link, plus observer/proxy/
+    // control connections.
+    engine_threads_.set(static_cast<i64>(
+        1 + (reactor_ != nullptr ? 0 : 2 * rates.size())));
+    std::size_t fds = 2 + rates.size() + control_conns_.size();
+    if (observer_conn_) ++fds;
+    if (proxy_conn_) ++fds;
+    engine_open_fds_.set(static_cast<i64>(fds));
     for (const auto& [peer, updown] : rates) {
       deliver_to_algorithm(Msg::control(MsgType::kUpThroughput, peer,
                                         kControlApp,
@@ -728,6 +821,9 @@ bool Engine::pump_link_slot(const NodeId& peer) {
   switch_batch_.clear();
   const std::size_t popped = link->recv_buffer().try_pop_batch(
       switch_batch_, weight > 0 ? static_cast<std::size_t>(weight) : 0);
+  // Reactor mode: a reader parked on this (previously full) buffer can
+  // resume now — kick it before processing so decode overlaps the switch.
+  if (popped > 0) link->notify_recv_space();
   for (std::size_t w = 0; w < popped; ++w) {
     Inbound& in = switch_batch_[w];
     // Switch latency (paper Fig. 5): receiver-thread enqueue to switch
@@ -789,6 +885,7 @@ bool Engine::flush_outbox(Outbox& outbox) {
       continue;
     }
     if (link->send_buffer().try_push(it->first)) {
+      link->notify_send();
       down_apps_[dest].insert(it->first->app());
       it = entries.erase(it);
       progress = true;
@@ -808,9 +905,12 @@ void Engine::flush_control_backlogs() {
       it = control_backlog_.erase(it);
       continue;
     }
+    bool pushed = false;
     while (!queue.empty() && link->send_buffer().try_push(queue.front())) {
       queue.pop_front();
+      pushed = true;
     }
+    if (pushed) link->notify_send();
     it = queue.empty() ? control_backlog_.erase(it) : std::next(it);
   }
 }
@@ -838,6 +938,7 @@ void Engine::send(const MsgPtr& m, const NodeId& dest) {
     return;
   }
   if (link->send_buffer().try_push(m)) {
+    link->notify_send();
     // Only data messages define the per-app up/downstream topology the
     // Domino walks (see SimEngine::send for the full rationale).
     if (m->type() == MsgType::kData) down_apps_[dest].insert(m->app());

@@ -45,6 +45,10 @@
 #include "net/socket.h"
 #include "obs/metrics.h"
 
+namespace iov::reactor {
+class Reactor;
+}  // namespace iov::reactor
+
 namespace iov::engine {
 
 /// Scopes accepted by kSetBandwidth control messages (param0); param1 is
@@ -185,6 +189,7 @@ class Engine final : public EngineApi, public InternalSink {
   PeerLink* find_link(const NodeId& peer) const;
   void remove_link(const NodeId& peer);
   void apply_set_bandwidth(const MsgPtr& m);
+  void log_fd_exhaustion(const char* where);
   void send_report();
   NodeReport build_report() const;
   void connect_observer();
@@ -209,10 +214,21 @@ class Engine final : public EngineApi, public InternalSink {
   obs::Counter& traces_sent_;
   obs::Counter& link_closes_;    ///< deliberate teardowns (close_link/sever)
   obs::Counter& link_failures_;  ///< crash detections (EOF, error, timeout)
+  obs::Gauge& engine_threads_;   ///< OS threads this node owns (not the pool)
+  obs::Gauge& engine_open_fds_;  ///< fds this node holds open
 
   NodeId self_;
   TcpListener listener_;
   TimePoint start_time_ = 0;
+
+  /// The process-shared epoll pool (DESIGN.md §9); null when
+  /// config.reactor_threads == 0 (legacy thread-per-link mode).
+  reactor::Reactor* reactor_ = nullptr;
+
+  /// While now() < this, the listener is left out of the poll set —
+  /// fd-exhaustion backoff (EMFILE/ENFILE on accept). Engine thread only.
+  TimePoint accept_backoff_until_ = 0;
+  TimePoint last_fd_warn_ = 0;  ///< throttles the fd-exhaustion warning
 
   /// Recycled large-frame payload slabs shared by every link's receiver
   /// (DESIGN.md §8). Declared before links_ so it outlives them; the

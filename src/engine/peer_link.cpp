@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "engine/reactor_link.h"
 #include "obs/metric_names.h"
 
 namespace iov::engine {
@@ -38,7 +39,8 @@ void InterruptibleSleeper::interrupt() {
 PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
                    const EngineConfig& config, BandwidthEmulator& bandwidth,
                    const Clock& clock, InternalSink& sink,
-                   obs::MetricsRegistry& metrics, SlabPool* pool)
+                   obs::MetricsRegistry& metrics, SlabPool* pool,
+                   reactor::Worker* worker, bool dial_pending)
     : self_(self),
       peer_(peer),
       conn_(std::move(conn)),
@@ -95,6 +97,12 @@ PeerLink::PeerLink(NodeId self, NodeId peer, TcpConn conn,
       .set(static_cast<i64>(recv_buffer_.capacity()));
   metrics.gauge(obs::names::kLinkQueueCapacity, link_labels(peer, "down"))
       .set(static_cast<i64>(send_buffer_.capacity()));
+  if (worker != nullptr) {
+    rlink_ = std::make_unique<ReactorLink>(
+        *this, *worker,
+        metrics.histogram(obs::names::kReactorLoopLagSeconds),
+        dial_pending, config.connect_timeout);
+  }
 }
 
 PeerLink::~PeerLink() {
@@ -103,6 +111,10 @@ PeerLink::~PeerLink() {
 }
 
 void PeerLink::start() {
+  if (rlink_) {
+    rlink_->start();
+    return;
+  }
   receiver_ = std::thread([this] { receiver_main(); });
   sender_ = std::thread([this] { sender_main(); });
 }
@@ -117,11 +129,24 @@ void PeerLink::stop() {
   // Shutting down (not closing) the socket wakes any blocked read/write in
   // the link threads without racing descriptor reuse.
   conn_.shutdown_both();
+  if (rlink_) rlink_->request_stop();
 }
 
 void PeerLink::join() {
+  if (rlink_) {
+    rlink_->wait_stopped();
+    return;
+  }
   if (receiver_.joinable()) receiver_.join();
   if (sender_.joinable()) sender_.join();
+}
+
+void PeerLink::notify_send() {
+  if (rlink_) rlink_->notify_send();
+}
+
+void PeerLink::notify_recv_space() {
+  if (rlink_) rlink_->notify_recv_space();
 }
 
 void PeerLink::receiver_main() {

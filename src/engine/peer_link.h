@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -43,7 +44,13 @@
 #include "net/throughput.h"
 #include "obs/metrics.h"
 
+namespace iov::reactor {
+class Worker;
+}  // namespace iov::reactor
+
 namespace iov::engine {
+
+class ReactorLink;
 
 /// A data message waiting in a receive buffer, stamped with the time the
 /// receiver thread enqueued it so the switch can measure enqueue→dequeue
@@ -85,17 +92,38 @@ class PeerLink {
   /// when non-null, serves the receiver's large-frame payload slabs
   /// (config.wire_payload_pool; the engine owns the pool, which must
   /// outlive the link).
+  ///
+  /// `worker`, when non-null, selects reactor mode (DESIGN.md §9): the
+  /// link is driven by that shared epoll worker's state machine instead
+  /// of spawning a receiver + sender thread. `dial_pending` (reactor mode
+  /// only) means `conn` came from TcpConn::connect_start and the TCP
+  /// handshake + our hello still have to complete on the worker.
   PeerLink(NodeId self, NodeId peer, TcpConn conn, const EngineConfig& config,
            BandwidthEmulator& bandwidth, const Clock& clock,
            InternalSink& sink, obs::MetricsRegistry& metrics,
-           SlabPool* pool = nullptr);
+           SlabPool* pool = nullptr, reactor::Worker* worker = nullptr,
+           bool dial_pending = false);
   ~PeerLink();
 
   PeerLink(const PeerLink&) = delete;
   PeerLink& operator=(const PeerLink&) = delete;
 
-  /// Spawns the receiver and sender threads.
+  /// Spawns the receiver and sender threads (legacy mode) or registers
+  /// the socket with the reactor worker (reactor mode).
   void start();
+
+  /// True when this link runs on the shared epoll reactor instead of a
+  /// receiver + sender thread pair.
+  bool reactor_mode() const { return rlink_ != nullptr; }
+
+  /// Reactor mode: the engine pushed into the send buffer — schedule a
+  /// send pump on the worker (deduplicated). No-op in legacy mode (the
+  /// sender thread blocks on the queue instead).
+  void notify_send();
+
+  /// Reactor mode: the engine drained the receive buffer — resume a
+  /// reader parked on a full buffer. No-op in legacy mode.
+  void notify_recv_space();
 
   /// Initiates teardown: closes both buffers, shuts the socket down (which
   /// unblocks both threads), and interrupts pacing sleeps. Idempotent;
@@ -133,6 +161,8 @@ class PeerLink {
   void set_send_loss(double probability);
 
  private:
+  friend class ReactorLink;  // the reactor-mode implementation of this link
+
   void receiver_main();
   void sender_main();
 
@@ -219,6 +249,9 @@ class PeerLink {
   std::thread sender_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> failed_{false};
+
+  /// Reactor-mode state machine; null in legacy thread-per-link mode.
+  std::unique_ptr<ReactorLink> rlink_;
 };
 
 }  // namespace iov::engine

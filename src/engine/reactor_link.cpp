@@ -1,0 +1,510 @@
+#include "engine/reactor_link.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace iov::engine {
+
+ReactorLink::ReactorLink(PeerLink& link, reactor::Worker& worker,
+                         obs::Histogram& loop_lag, bool dial_pending,
+                         Duration connect_timeout)
+    : link_(link),
+      worker_(worker),
+      loop_lag_(loop_lag),
+      dial_pending_(dial_pending),
+      connect_timeout_(connect_timeout),
+      reader_(link.conn_, FrameReader::kDefaultChunkBytes, link.pool_) {}
+
+int ReactorLink::fd() const { return link_.conn_.fd(); }
+
+// --- Engine-thread API ------------------------------------------------------
+
+void ReactorLink::start() {
+  worker_.submit([this] { ws_start(); }, &loop_lag_);
+}
+
+void ReactorLink::request_stop() {
+  if (stop_requested_.exchange(true)) return;
+  // FIFO task order is the teardown guarantee: every notify task submitted
+  // before this one runs first, so after this task no worker code touches
+  // the link.
+  worker_.submit([this] {
+    detach();
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopped_ = true;
+    stop_cv_.notify_all();  // under the lock: the waiter may destroy us
+  });
+}
+
+void ReactorLink::wait_stopped() {
+  if (!stop_requested_.load()) return;
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [&] { return stopped_; });
+}
+
+void ReactorLink::notify_send() {
+  if (send_scheduled_.exchange(true)) return;
+  worker_.submit(
+      [this] {
+        send_scheduled_.store(false);
+        pump_send();
+      },
+      &loop_lag_);
+}
+
+void ReactorLink::notify_recv_space() {
+  if (!recv_blocked_.exchange(false)) return;
+  worker_.submit([this] { resume_recv(); }, &loop_lag_);
+}
+
+// --- Worker-thread state machine --------------------------------------------
+
+void ReactorLink::ws_start() {
+  if (detached_) return;
+  if (!link_.conn_.valid()) {
+    fail(MsgType::kPeerFailed);
+    return;
+  }
+  if (dial_pending_) {
+    state_ = State::kConnecting;
+    if (!worker_.add_fd(fd(), EPOLLOUT, this)) {
+      fail(MsgType::kPeerFailed);
+      return;
+    }
+    registered_ = true;
+    interest_ = EPOLLOUT;
+    worker_.schedule_after(
+        connect_timeout_, this,
+        [this] {
+          if (!detached_ && state_ == State::kConnecting) {
+            errno = ETIMEDOUT;
+            fail(MsgType::kPeerFailed);
+          }
+        },
+        &loop_lag_);
+  } else {
+    // Accepted socket, hello already consumed by the engine's blocking
+    // handshake read: go straight to established.
+    link_.conn_.set_nonblocking(true);
+    state_ = State::kEstablished;
+    if (!worker_.add_fd(fd(), EPOLLIN, this)) {
+      fail(MsgType::kPeerFailed);
+      return;
+    }
+    registered_ = true;
+    interest_ = EPOLLIN;
+    pump_send();  // the engine may have queued sends before we registered
+  }
+}
+
+void ReactorLink::ws_connect_ready() {
+  worker_.cancel_timers(this);  // the connect deadline
+  if (!link_.conn_.finish_connect()) {
+    fail(MsgType::kPeerFailed);
+    return;
+  }
+  state_ = State::kHandshaking;
+  const auto hello = encode_hello(Hello{ConnKind::kPersistent, link_.self_});
+  raw_head_.assign(hello.begin(), hello.end());
+  raw_off_ = 0;
+  update_interest();
+  if (flush_wire() && state_ == State::kEstablished) {
+    pump_send();
+    pump_recv();
+  }
+}
+
+void ReactorLink::on_event(u32 events) {
+  if (detached_) return;
+  if (state_ == State::kConnecting) {
+    // EPOLLOUT (or ERR/HUP) resolves the pending connect either way.
+    ws_connect_ready();
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 && read_parked() &&
+      !write_blocked_) {
+    // A dead socket reports ERR/HUP on every epoll_wait even with an empty
+    // interest mask; while parked (pacing timer or full buffer) we cannot
+    // consume the error, so leave the epoll set entirely to avoid a busy
+    // loop. update_interest() re-adds the fd on resume and the resumed
+    // read then observes the error.
+    if (registered_ && !suspended_) {
+      worker_.del_fd(fd());
+      suspended_ = true;
+    }
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (flush_wire() && state_ == State::kEstablished) pump_send();
+    if (detached_) return;
+  }
+  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) pump_recv();
+}
+
+// --- Send path --------------------------------------------------------------
+
+void ReactorLink::pump_send() {
+  if (detached_ || state_ != State::kEstablished) return;
+  if (!flush_wire()) return;  // backlogged (EPOLLOUT armed) or dead
+  if (send_paced_) return;    // the pacing timer owns progress
+  bool popped_any = false;
+  while (!link_.stopping_.load(std::memory_order_relaxed)) {
+    if (popped_idx_ >= popped_.size()) {
+      popped_.clear();
+      popped_idx_ = 0;
+      if (link_.send_buffer_.try_pop_batch(popped_, link_.wire_batch_msgs_) ==
+          0) {
+        break;
+      }
+      popped_any = true;
+      link_.send_depth_.set(static_cast<i64>(link_.send_buffer_.size()));
+    }
+    while (popped_idx_ < popped_.size()) {
+      MsgPtr& m = popped_[popped_idx_];
+      const u32 loss_ppm =
+          link_.send_loss_ppm_.load(std::memory_order_relaxed);
+      if (loss_ppm > 0 && link_.loss_rng_.below(1000000) < loss_ppm) {
+        // Injected wire loss (kSetLoss): the message vanishes before
+        // pacing, accounted like any other sender-side drop.
+        link_.count_send_loss(*m);
+        m.reset();
+        ++popped_idx_;
+        link_.sink_.wake();
+        continue;
+      }
+      const Duration wait = link_.bandwidth_.acquire_send(
+          link_.peer_, m->wire_size(), link_.clock_.now());
+      if (wait > 0) {
+        // Pacing boundary: everything accumulated so far cleared the
+        // token bucket with zero wait, so flush it before the emulated
+        // sleep — batching never shifts a message past its departure
+        // time. The sleep itself becomes a reactor timer; the message
+        // stays parked in popped_ until it fires.
+        stage_pending();
+        flush_wire();
+        if (detached_) return;
+        link_.send_throttle_wait_.observe_duration(wait);
+        send_paced_ = true;
+        worker_.schedule_after(
+            wait, this, [this] { on_send_pace_done(); }, &loop_lag_);
+        if (popped_any) link_.sink_.wake();
+        return;
+      }
+      pending_.push_back(std::move(m));
+      ++popped_idx_;
+    }
+    stage_pending();
+    if (!flush_wire()) break;  // EAGAIN: EPOLLOUT resumes; error: detached
+  }
+  if (detached_) return;
+  stage_pending();
+  flush_wire();
+  if (popped_any) link_.sink_.wake();
+}
+
+void ReactorLink::on_send_pace_done() {
+  send_paced_ = false;
+  if (detached_) return;
+  if (popped_idx_ < popped_.size() && popped_[popped_idx_]) {
+    pending_.push_back(std::move(popped_[popped_idx_]));
+    ++popped_idx_;
+  }
+  pump_send();
+}
+
+void ReactorLink::stage_pending() {
+  if (pending_.empty()) return;
+  link_.down_flush_msgs_.observe(static_cast<double>(pending_.size()));
+  for (auto& m : pending_) {
+    wire_headers_.push_back(codec::encode_header(*m));
+    wire_msgs_.push_back(std::move(m));
+  }
+  pending_.clear();
+}
+
+bool ReactorLink::flush_wire() {
+  if (detached_) return false;
+  // The raw handshake bytes precede any frame.
+  while (raw_off_ < raw_head_.size()) {
+    iovec v{raw_head_.data() + raw_off_, raw_head_.size() - raw_off_};
+    const long n = link_.conn_.writev_some(&v, 1);
+    if (n == 0) {
+      write_blocked_ = true;
+      update_interest();
+      return false;
+    }
+    if (n < 0) {
+      fail(MsgType::kPeerFailed);  // handshake never made it out
+      return false;
+    }
+    raw_off_ += static_cast<std::size_t>(n);
+  }
+  if (state_ == State::kHandshaking) {
+    state_ = State::kEstablished;
+    raw_head_.clear();
+    raw_off_ = 0;
+  }
+  std::size_t completed = 0;
+  bool drained = true;
+  while (!wire_msgs_.empty()) {
+    // Same shape as write_batch: up to kMaxWireBatch frames, two iovecs
+    // each, one sendmsg — byte-identical on the wire, so reactor and
+    // legacy peers interoperate. Only the front frame can be partial.
+    std::array<iovec, 2 * kMaxWireBatch> iov;
+    int iovcnt = 0;
+    const std::size_t take = std::min(wire_msgs_.size(), kMaxWireBatch);
+    std::size_t skip = wire_off_;
+    for (std::size_t i = 0; i < take; ++i) {
+      const Msg& m = *wire_msgs_[i];
+      const u8* hdr = wire_headers_[i].data();
+      std::size_t hdr_len = wire_headers_[i].size();
+      const u8* pay =
+          m.payload_size() > 0 ? m.payload()->data() : nullptr;
+      std::size_t pay_len = m.payload_size();
+      if (skip > 0) {
+        const std::size_t h = std::min(skip, hdr_len);
+        hdr += h;
+        hdr_len -= h;
+        skip -= h;
+        const std::size_t p = std::min(skip, pay_len);
+        pay += p;
+        pay_len -= p;
+        skip -= p;
+      }
+      if (hdr_len > 0) {
+        iov[iovcnt++] = {const_cast<u8*>(hdr), hdr_len};
+      }
+      if (pay_len > 0) {
+        iov[iovcnt++] = {const_cast<u8*>(pay), pay_len};
+      }
+    }
+    u64 sys = 0;
+    const long n = link_.conn_.writev_some(iov.data(), iovcnt, &sys);
+    link_.down_syscalls_.inc(sys);
+    if (n == 0) {
+      write_blocked_ = true;
+      update_interest();
+      drained = false;
+      break;
+    }
+    if (n < 0) {
+      if (completed > 0) link_.sink_.wake();
+      fail(MsgType::kSendFailed);
+      return false;
+    }
+    wire_off_ += static_cast<std::size_t>(n);
+    const TimePoint now = link_.clock_.now();
+    while (!wire_msgs_.empty()) {
+      const std::size_t frame = wire_msgs_.front()->wire_size();
+      if (wire_off_ < frame) break;
+      wire_off_ -= frame;
+      link_.down_meter_.record(frame, now);
+      link_.down_bytes_.inc(frame);
+      link_.down_msgs_.inc();
+      wire_msgs_.pop_front();
+      wire_headers_.pop_front();
+      ++completed;
+    }
+  }
+  if (drained && write_blocked_) {
+    write_blocked_ = false;
+    update_interest();
+  }
+  if (completed > 0) link_.sink_.wake();
+  return drained;
+}
+
+// --- Receive path -----------------------------------------------------------
+
+void ReactorLink::pump_recv() {
+  if (detached_ || state_ == State::kConnecting || read_parked()) return;
+  while (!link_.stopping_.load(std::memory_order_relaxed)) {
+    MsgPtr m = reader_.next();
+    const u64 s = reader_.syscalls();
+    if (s != seen_syscalls_) {
+      // The reader went back to the socket, so the frames decoded since
+      // the previous refill formed one bulk batch.
+      if (refill_msgs_ > 0) {
+        link_.up_flush_msgs_.observe(static_cast<double>(refill_msgs_));
+      }
+      link_.up_syscalls_.inc(s - seen_syscalls_);
+      seen_syscalls_ = s;
+      refill_msgs_ = 0;
+    }
+    if (m) ++refill_msgs_;
+    if (!m) {
+      flush_inbound();  // deliver what already decoded before any verdict
+      if (reader_.would_block()) return;  // EPOLLIN resumes the pump
+      fail(MsgType::kPeerFailed);         // EOF, socket error, corrupt frame
+      return;
+    }
+
+    // Download-side bandwidth emulation: pace before the message becomes
+    // visible. Instead of sleeping we park the message and stop reading;
+    // the kernel receive window fills and TCP pushes back on the sender —
+    // exactly the "back pressure" of §2.4. A non-zero wait is a pacing
+    // boundary: everything decoded so far becomes visible before the
+    // emulated delay.
+    const Duration wait = link_.bandwidth_.acquire_recv(
+        link_.peer_, m->wire_size(), link_.clock_.now());
+    if (wait > 0) {
+      flush_inbound();
+      if (detached_) return;
+      link_.recv_throttle_wait_.observe_duration(wait);
+      paced_ = std::move(m);
+      update_interest();
+      worker_.schedule_after(
+          wait, this, [this] { on_recv_pace_done(); }, &loop_lag_);
+      return;
+    }
+    account_and_route(std::move(m));
+    if (detached_ || read_parked()) return;
+  }
+}
+
+void ReactorLink::on_recv_pace_done() {
+  if (detached_ || !paced_) return;
+  MsgPtr m = std::move(paced_);
+  account_and_route(std::move(m));
+  if (detached_ || read_parked()) return;
+  update_interest();
+  pump_recv();
+}
+
+void ReactorLink::resume_recv() {
+  if (detached_) return;
+  if (!flush_inbound()) return;  // still full: re-parked, flag re-set
+  if (held_ctrl_) link_.sink_.post(std::move(held_ctrl_));
+  if (paced_) return;  // the pacing timer continues the pump
+  update_interest();
+  pump_recv();
+}
+
+void ReactorLink::account_and_route(MsgPtr m) {
+  const TimePoint now = link_.clock_.now();
+  link_.up_meter_.record(m->wire_size(), now);
+  link_.up_bytes_.inc(m->wire_size());
+  link_.up_msgs_.inc();
+  if (m->type() == MsgType::kData) {
+    inbound_.push_back(Inbound{std::move(m), now});
+    // Keep accumulating only while the reader can hand out more frames
+    // without going back to the socket; flush at every syscall boundary
+    // so the switch never waits on delivered-but-unpushed messages.
+    if (inbound_.size() >= link_.wire_batch_msgs_ || !reader_.buffered()) {
+      flush_inbound();
+    }
+  } else {
+    // Protocol/control traffic bypasses the data buffers so it cannot be
+    // starved by a congested data plane (flush first to preserve arrival
+    // order between the two planes; if the flush parks, hold the control
+    // message so order is still preserved on resume).
+    if (flush_inbound()) {
+      link_.sink_.post(std::move(m));
+    } else {
+      held_ctrl_ = std::move(m);
+    }
+  }
+}
+
+bool ReactorLink::flush_inbound() {
+  for (;;) {
+    if (inbound_.empty()) {
+      if (recv_full_) {
+        recv_full_ = false;
+        update_interest();
+      }
+      return true;
+    }
+    const std::size_t pushed = link_.recv_buffer_.try_push_batch(inbound_);
+    if (pushed > 0) {
+      inbound_.erase(inbound_.begin(),
+                     inbound_.begin() + static_cast<std::ptrdiff_t>(pushed));
+      link_.recv_depth_.set(static_cast<i64>(link_.recv_buffer_.size()));
+      link_.sink_.wake();
+      continue;
+    }
+    if (link_.recv_buffer_.closed()) {
+      inbound_.clear();  // teardown: the engine no longer drains
+      continue;
+    }
+    if (recv_full_ && recv_blocked_.load()) return false;  // already parked
+    // Full: park. Publish the flag, then loop for one more push attempt —
+    // if the engine drained between our failed push and the store, its
+    // notify_recv_space saw the flag unset and no resume would ever come.
+    recv_full_ = true;
+    recv_blocked_.store(true);
+    update_interest();
+    link_.sink_.wake();
+  }
+}
+
+// --- Failure and teardown ---------------------------------------------------
+
+void ReactorLink::fail(MsgType kind) {
+  if (detached_) return;
+  if (!link_.stopping_.load(std::memory_order_relaxed)) {
+    link_.failed_.store(true, std::memory_order_relaxed);
+    link_.sink_.post(Msg::control(kind, link_.peer_, kControlApp));
+  }
+  detach();
+}
+
+void ReactorLink::detach() {
+  if (detached_) return;
+  detached_ = true;
+  if (registered_ && !suspended_) worker_.del_fd(fd());
+  registered_ = false;
+  suspended_ = false;
+  worker_.cancel_timers(this);
+  // Account every undelivered egress message as lost ("the number of
+  // bytes (or messages) lost due to failures"), exactly like the legacy
+  // sender's teardown drain.
+  for (const auto& m : wire_msgs_) link_.count_send_loss(*m);
+  wire_msgs_.clear();
+  wire_headers_.clear();
+  wire_off_ = 0;
+  for (const auto& m : pending_) link_.count_send_loss(*m);
+  pending_.clear();
+  for (std::size_t i = popped_idx_; i < popped_.size(); ++i) {
+    if (popped_[i]) link_.count_send_loss(*popped_[i]);
+  }
+  popped_.clear();
+  popped_idx_ = 0;
+  std::vector<MsgPtr> rest;
+  while (link_.send_buffer_.try_pop_batch(rest, link_.wire_batch_msgs_) > 0) {
+    for (const auto& m : rest) link_.count_send_loss(*m);
+    rest.clear();
+  }
+  inbound_.clear();
+  paced_.reset();
+  held_ctrl_.reset();
+  state_ = State::kDraining;
+}
+
+void ReactorLink::update_interest() {
+  if (detached_ || !registered_) return;
+  u32 want = 0;
+  if (state_ == State::kConnecting) {
+    want = EPOLLOUT;
+  } else {
+    if (!read_parked()) want |= EPOLLIN;
+    if (write_blocked_) want |= EPOLLOUT;
+  }
+  if (suspended_) {
+    if (want == 0) return;
+    if (worker_.add_fd(fd(), want, this)) {
+      suspended_ = false;
+      interest_ = want;
+    }
+    return;
+  }
+  if (want != interest_) {
+    worker_.mod_fd(fd(), want);
+    interest_ = want;
+  }
+}
+
+}  // namespace iov::engine

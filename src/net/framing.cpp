@@ -10,20 +10,24 @@ namespace iov {
 
 namespace {
 constexpr u32 kMagic = 0x494f5631;  // "IOV1"
-constexpr std::size_t kHelloSize = 16;
 }  // namespace
 
+std::array<u8, kHelloBytes> encode_hello(const Hello& hello) {
+  std::array<u8, kHelloBytes> bytes;
+  codec::write_u32(bytes.data(), kMagic);
+  codec::write_u32(bytes.data() + 4, static_cast<u32>(hello.kind));
+  codec::write_u32(bytes.data() + 8, hello.sender.ip());
+  codec::write_u32(bytes.data() + 12, hello.sender.port());
+  return bytes;
+}
+
 bool write_hello(TcpConn& conn, const Hello& hello) {
-  u8 bytes[kHelloSize];
-  codec::write_u32(bytes, kMagic);
-  codec::write_u32(bytes + 4, static_cast<u32>(hello.kind));
-  codec::write_u32(bytes + 8, hello.sender.ip());
-  codec::write_u32(bytes + 12, hello.sender.port());
-  return conn.write_all(bytes, sizeof(bytes));
+  const auto bytes = encode_hello(hello);
+  return conn.write_all(bytes.data(), bytes.size());
 }
 
 std::optional<Hello> read_hello(TcpConn& conn) {
-  u8 bytes[kHelloSize];
+  u8 bytes[kHelloBytes];
   if (!conn.read_all(bytes, sizeof(bytes))) return std::nullopt;
   if (codec::read_u32(bytes) != kMagic) return std::nullopt;
   const u32 kind = codec::read_u32(bytes + 4);
@@ -150,6 +154,10 @@ bool FrameReader::refill(std::size_t cap) {
   const long n = conn_.read_some(chunk_->data() + end_,
                                  std::min(chunk_->size() - end_, cap));
   ++syscalls_;
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    would_block_ = true;  // non-blocking socket drained, not dead
+    return false;
+  }
   if (n <= 0) return false;  // EOF or socket error
   end_ += static_cast<std::size_t>(n);
   return true;
@@ -163,38 +171,56 @@ MsgPtr FrameReader::read_large(const codec::Header& header) {
   // seeded with one memcpy; in the steady large-frame state the
   // expect_large_ exact-header reads keep that seed empty, so the
   // payload is never copied at all.
+  LargePending p;
+  p.header = header;
   const std::size_t size = header.payload_size;
-  SlabPtr slab;
-  std::vector<u8> bytes;
   u8* dst = nullptr;
   if (pool_ != nullptr) {
-    slab = pool_->acquire(size);
-    dst = slab->data();
+    p.slab = pool_->acquire(size);
+    dst = p.slab->data();
   } else {
-    bytes.resize(size);
-    dst = bytes.data();
+    p.bytes.resize(size);
+    dst = p.bytes.data();
   }
   const std::size_t have = std::min(available(), size);
   if (have > 0) {
     std::memcpy(dst, chunk_->data() + pos_, have);
     pos_ += have;
   }
-  std::size_t got = have;
-  while (got < size) {
-    const long n = conn_.read_some(dst + got, size - got);
+  p.got = have;
+  large_.emplace(std::move(p));
+  return resume_large();
+}
+
+MsgPtr FrameReader::resume_large() {
+  LargePending& p = *large_;
+  const std::size_t size = p.header.payload_size;
+  u8* dst = p.slab ? p.slab->data() : p.bytes.data();
+  while (p.got < size) {
+    const long n = conn_.read_some(dst + p.got, size - p.got);
     ++syscalls_;
-    if (n <= 0) {
-      failed_ = true;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Mid-payload on a non-blocking socket: keep the destination and
+      // byte count; the next next() call picks up exactly here.
+      would_block_ = true;
       return nullptr;
     }
-    got += static_cast<std::size_t>(n);
+    if (n <= 0) {
+      failed_ = true;
+      large_.reset();
+      return nullptr;
+    }
+    p.got += static_cast<std::size_t>(n);
   }
   ++msgs_;
   expect_large_ = true;
-  BufferPtr payload = slab ? Buffer::slice(slab, slab->data(), size)
-                           : Buffer::wrap(std::move(bytes));
-  return std::make_shared<Msg>(header.type, header.origin, header.app,
-                               header.seq, std::move(payload));
+  BufferPtr payload = p.slab ? Buffer::slice(p.slab, p.slab->data(), size)
+                             : Buffer::wrap(std::move(p.bytes));
+  auto msg = std::make_shared<Msg>(p.header.type, p.header.origin,
+                                   p.header.app, p.header.seq,
+                                   std::move(payload));
+  large_.reset();
+  return msg;
 }
 
 bool FrameReader::buffered() const {
@@ -208,6 +234,8 @@ bool FrameReader::buffered() const {
 }
 
 MsgPtr FrameReader::next() {
+  would_block_ = false;
+  if (large_ && !failed_) return resume_large();
   while (!failed_) {
     if (available() < Msg::kHeaderSize) {
       // After a large frame, read the next header *exactly*: a greedy
@@ -217,6 +245,7 @@ MsgPtr FrameReader::next() {
       // bounded recv before normal bulk filling resumes.
       if (!refill(expect_large_ ? Msg::kHeaderSize - available()
                                 : static_cast<std::size_t>(-1))) {
+        if (would_block_) return nullptr;  // retry when readable
         break;
       }
       continue;
@@ -233,7 +262,10 @@ MsgPtr FrameReader::next() {
     }
     expect_large_ = false;
     if (available() < total) {
-      if (!refill()) break;
+      if (!refill()) {
+        if (would_block_) return nullptr;  // retry when readable
+        break;
+      }
       continue;
     }
     BufferPtr payload = Buffer::empty_buffer();

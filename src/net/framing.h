@@ -16,6 +16,7 @@
 // connection itself.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -43,6 +44,13 @@ struct Hello {
   ConnKind kind = ConnKind::kControl;
   NodeId sender;
 };
+
+/// The hello's fixed wire length.
+constexpr std::size_t kHelloBytes = 16;
+
+/// Serializes the hello (the reactor path queues these bytes for a
+/// non-blocking write instead of write_hello's blocking call).
+std::array<u8, kHelloBytes> encode_hello(const Hello& hello);
 
 /// Writes the connection hello. False on socket error.
 bool write_hello(TcpConn& conn, const Hello& hello);
@@ -125,8 +133,17 @@ class FrameReader {
   FrameReader& operator=(const FrameReader&) = delete;
 
   /// Next decoded message; nullptr on EOF, socket error, or a corrupt
-  /// header (the reader then fails permanently).
+  /// header (the reader then fails permanently) — or, on a non-blocking
+  /// socket, when no complete frame has arrived yet (would_block() then
+  /// reads true and the reader is NOT failed: call next() again when the
+  /// socket turns readable; a partially received large frame resumes
+  /// where it stopped).
   MsgPtr next();
+
+  /// True when the last next() returned nullptr only because the
+  /// non-blocking socket had no more bytes (EAGAIN), not because the
+  /// stream ended. Reset by every next() call.
+  bool would_block() const { return would_block_; }
 
   /// True when the stream died on a malformed header rather than EOF.
   bool corrupt() const { return corrupt_; }
@@ -149,6 +166,8 @@ class FrameReader {
   /// default is "fill the chunk").
   bool refill(std::size_t cap = static_cast<std::size_t>(-1));
   MsgPtr read_large(const codec::Header& header);
+  /// Continues a partially received large frame (see LargePending).
+  MsgPtr resume_large();
 
   TcpConn& conn_;
   const std::size_t chunk_bytes_;
@@ -168,6 +187,16 @@ class FrameReader {
   u64 msgs_ = 0;
   bool failed_ = false;
   bool corrupt_ = false;
+  bool would_block_ = false;
+  /// Partially received large frame awaiting more bytes (non-blocking
+  /// sockets only): the destination stays put across next() calls.
+  struct LargePending {
+    codec::Header header;
+    SlabPtr slab;           ///< pool destination, or
+    std::vector<u8> bytes;  ///< dedicated fallback
+    std::size_t got = 0;
+  };
+  std::optional<LargePending> large_;
 };
 
 }  // namespace iov

@@ -1,0 +1,236 @@
+#include "net/reactor/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace iov::reactor {
+namespace {
+
+constexpr int kMaxEvents = 128;
+// Upper bound on one epoll_wait when timers are idle; keeps the loop
+// responsive to stop() even if a wake write were ever lost.
+constexpr Duration kIdleTimeout = millis(500);
+
+}  // namespace
+
+Worker::Worker() = default;
+
+Worker::~Worker() { stop_and_join(); }
+
+void Worker::start() {
+  if (started_.exchange(true)) return;
+  epoll_fd_ = Fd(epoll_create1(EPOLL_CLOEXEC));
+  wake_fd_ = Fd(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!epoll_fd_.valid() || !wake_fd_.valid()) {
+    IOV_LOG_ERROR("reactor") << "worker init failed: " << std::strerror(errno);
+    return;
+  }
+  struct epoll_event ev {};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Worker::stop_and_join() {
+  if (!started_.load() || stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::submit(std::function<void()> fn, obs::Histogram* lag) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(Task{std::move(fn), RealClock::instance().now(), lag});
+  }
+  wake();
+}
+
+void Worker::wake() {
+  const u64 one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_.get(), &one, sizeof(one));
+}
+
+bool Worker::add_fd(int fd, u32 events, EventHandler* handler) {
+  struct epoll_event ev {};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  handlers_[fd] = handler;
+  return true;
+}
+
+bool Worker::mod_fd(int fd, u32 events) {
+  struct epoll_event ev {};
+  ev.events = events;
+  ev.data.fd = fd;
+  return epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Worker::del_fd(int fd) {
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void Worker::schedule_after(Duration delay, void* owner,
+                            std::function<void()> fn, obs::Histogram* lag) {
+  Timer t;
+  t.due = RealClock::instance().now() + std::max<Duration>(delay, 0);
+  t.seq = ++timer_seq_;
+  t.owner = owner;
+  t.fn = std::move(fn);
+  t.lag = lag;
+  timers_.push(std::move(t));
+}
+
+void Worker::cancel_timers(void* owner) {
+  if (timers_.empty()) return;
+  // priority_queue has no erase; rebuild without `owner`'s entries. Timer
+  // populations are small (one pacing/connect timer per parked link).
+  std::vector<Timer> keep;
+  keep.reserve(timers_.size());
+  while (!timers_.empty()) {
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast): pop-by-move
+    Timer t = std::move(const_cast<Timer&>(timers_.top()));
+    timers_.pop();
+    if (t.owner != owner) keep.push_back(std::move(t));
+  }
+  for (auto& t : keep) timers_.push(std::move(t));
+}
+
+bool Worker::on_worker_thread() const {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+Duration Worker::next_timeout() const {
+  if (timers_.empty()) return kIdleTimeout;
+  const Duration until = timers_.top().due - RealClock::instance().now();
+  return std::clamp<Duration>(until, 0, kIdleTimeout);
+}
+
+void Worker::run_tasks() {
+  running_.clear();
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    running_.swap(tasks_);
+  }
+  for (auto& task : running_) {
+    if (task.lag != nullptr) {
+      task.lag->observe_duration(RealClock::instance().now() - task.submitted);
+    }
+    task.fn();
+  }
+  running_.clear();
+}
+
+void Worker::fire_timers() {
+  const TimePoint now = RealClock::instance().now();
+  while (!timers_.empty() && timers_.top().due <= now) {
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast): pop-by-move
+    Timer t = std::move(const_cast<Timer&>(timers_.top()));
+    timers_.pop();
+    if (t.lag != nullptr) t.lag->observe_duration(now - t.due);
+    t.fn();
+  }
+}
+
+void Worker::loop() {
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Duration timeout = next_timeout();
+    // epoll_pwait2 takes a nanosecond deadline, so pacing timers fire on
+    // time instead of rounded up to the next millisecond.
+    struct timespec ts;
+    ts.tv_sec = timeout / kNanosPerSec;
+    ts.tv_nsec = timeout % kNanosPerSec;
+    int n = epoll_pwait2(epoll_fd_.get(), events, kMaxEvents, &ts, nullptr);
+    if (n < 0 && errno == ENOSYS) {
+      n = epoll_wait(epoll_fd_.get(), events, kMaxEvents,
+                     static_cast<int>(timeout / kNanosPerMilli) + 1);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      IOV_LOG_ERROR("reactor") << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        u64 drained;
+        while (read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Look the handler up per event: an earlier callback in this batch
+      // may have deregistered it.
+      auto it = handlers_.find(fd);
+      if (it != handlers_.end()) it->second->on_event(events[i].events);
+    }
+    run_tasks();
+    fire_timers();
+  }
+  // Drain any final tasks so teardown work submitted just before stop
+  // (e.g. link detach) still runs and nobody waits forever on it.
+  run_tasks();
+}
+
+Reactor::Reactor(int threads) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->start();
+  }
+}
+
+Reactor::~Reactor() {
+  for (auto& w : workers_) w->stop_and_join();
+}
+
+Worker& Reactor::pick() {
+  const u64 i = next_.fetch_add(1, std::memory_order_relaxed);
+  return *workers_[i % workers_.size()];
+}
+
+int Reactor::auto_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, std::min(4, static_cast<int>(hw)));
+}
+
+Reactor& Reactor::shared(int threads_hint) {
+  // First caller fixes the pool size; the pool lives until after main
+  // (function-local static), so links can always reach their worker.
+  static Reactor* instance = nullptr;
+  static std::once_flag once;
+  static int fixed = 0;
+  std::call_once(once, [&] {
+    fixed = threads_hint < 0 ? auto_threads() : std::max(threads_hint, 1);
+    static Reactor pool(fixed);
+    instance = &pool;
+    IOV_LOG_INFO("reactor") << "shared epoll pool started: " << fixed
+                            << " worker thread(s)";
+  });
+  const int want = threads_hint < 0 ? auto_threads() : std::max(threads_hint, 1);
+  if (want != fixed) {
+    static std::once_flag warn_once;
+    std::call_once(warn_once, [&] {
+      IOV_LOG_WARN("reactor")
+          << "reactor_threads=" << want << " requested but shared pool "
+          << "already sized at " << fixed << "; keeping existing pool";
+    });
+  }
+  return *instance;
+}
+
+}  // namespace iov::reactor

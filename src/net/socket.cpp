@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -83,7 +84,7 @@ std::optional<TcpConn> TcpConn::connect(const NodeId& dest, Duration timeout,
     ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &half, sizeof(half));
     ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &half, sizeof(half));
   }
-  if (!set_nonblocking(fd.get(), true)) return std::nullopt;
+  if (!iov::set_nonblocking(fd.get(), true)) return std::nullopt;
 
   const sockaddr_in addr = to_sockaddr(dest);
   const int rc =
@@ -102,9 +103,46 @@ std::optional<TcpConn> TcpConn::connect(const NodeId& dest, Duration timeout,
       return std::nullopt;
     }
   }
-  if (!set_nonblocking(fd.get(), false)) return std::nullopt;
+  if (!iov::set_nonblocking(fd.get(), false)) return std::nullopt;
   set_nodelay(fd.get());
   return TcpConn(std::move(fd));
+}
+
+std::optional<TcpConn> TcpConn::connect_start(const NodeId& dest,
+                                              int buffer_bytes) {
+  suppress_sigpipe();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  if (buffer_bytes > 0) {
+    const int half = buffer_bytes / 2;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &half, sizeof(half));
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &half, sizeof(half));
+  }
+  if (!iov::set_nonblocking(fd.get(), true)) return std::nullopt;
+
+  const sockaddr_in addr = to_sockaddr(dest);
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return std::nullopt;
+  return TcpConn(std::move(fd));
+}
+
+bool TcpConn::finish_connect() {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return false;
+  }
+  if (err != 0) {
+    errno = err;
+    return false;
+  }
+  set_nodelay(fd_.get());
+  return true;
+}
+
+bool TcpConn::set_nonblocking(bool nonblocking) {
+  return iov::set_nonblocking(fd_.get(), nonblocking);
 }
 
 bool TcpConn::write_all(const void* data, std::size_t n) {
@@ -161,6 +199,23 @@ bool TcpConn::writev_all(struct iovec* iov, int iovcnt, u64* syscalls,
     }
   }
   return true;
+}
+
+long TcpConn::writev_some(const struct iovec* iov, int iovcnt,
+                          u64* syscalls) {
+  while (true) {
+    msghdr hdr{};
+    hdr.msg_iov = const_cast<struct iovec*>(iov);
+    hdr.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t written = ::sendmsg(fd_.get(), &hdr, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      return -1;
+    }
+    if (syscalls != nullptr) ++*syscalls;
+    return static_cast<long>(written);
+  }
 }
 
 bool TcpConn::enable_zerocopy() {
@@ -337,6 +392,24 @@ std::optional<TcpConn> TcpListener::accept() {
     if (errno == EINTR) continue;
     return std::nullopt;  // EAGAIN (nothing pending) or a real error
   }
+}
+
+u64 raise_nofile_limit() {
+  static const u64 cap = [] {
+    rlimit lim{};
+    if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return static_cast<u64>(0);
+    if (lim.rlim_cur < lim.rlim_max) {
+      lim.rlim_cur = lim.rlim_max;
+      if (::setrlimit(RLIMIT_NOFILE, &lim) != 0) {
+        IOV_LOG_WARN("net") << "setrlimit(RLIMIT_NOFILE) failed: "
+                            << std::strerror(errno)
+                            << "; keeping soft limit " << lim.rlim_cur;
+        ::getrlimit(RLIMIT_NOFILE, &lim);
+      }
+    }
+    return static_cast<u64>(lim.rlim_cur);
+  }();
+  return cap;
 }
 
 bool wait_readable(int fd, Duration timeout) {

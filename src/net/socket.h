@@ -59,8 +59,26 @@ class TcpConn {
   static std::optional<TcpConn> connect(const NodeId& dest, Duration timeout,
                                         int buffer_bytes = 0);
 
+  /// Begins a non-blocking connect to `dest` and returns immediately with
+  /// the connect still in flight (the reactor path). The socket stays
+  /// non-blocking. The caller waits for writability (EPOLLOUT), then
+  /// calls finish_connect() to learn the outcome. nullopt only on
+  /// immediate local failure (no route, fd exhaustion — errno preserved).
+  static std::optional<TcpConn> connect_start(const NodeId& dest,
+                                              int buffer_bytes = 0);
+
+  /// Resolves a connect_start() once the socket reported writable:
+  /// checks SO_ERROR and sets TCP_NODELAY. False means the connect
+  /// failed (errno holds the reason).
+  bool finish_connect();
+
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
+
+  /// Switches the socket between blocking and non-blocking mode. The
+  /// reactor drives sockets non-blocking; the legacy thread-per-link
+  /// path keeps them blocking.
+  bool set_nonblocking(bool nonblocking);
 
   /// Writes exactly `n` bytes; false on any error (errno preserved).
   /// Retries on EINTR. Never raises SIGPIPE.
@@ -83,6 +101,14 @@ class TcpConn {
   /// not an error.
   bool writev_all(struct iovec* iov, int iovcnt, u64* syscalls = nullptr,
                   bool zerocopy = false, u64* zc_calls = nullptr);
+
+  /// One sendmsg over `iov[0..iovcnt)` on a non-blocking socket: returns
+  /// the bytes accepted by the kernel (possibly a partial write), 0 when
+  /// the socket would block (EAGAIN — arm EPOLLOUT and retry later), or
+  /// -1 on a real error. Retries on EINTR; never raises SIGPIPE.
+  /// `syscalls`, when non-null, counts the sendmsg issued.
+  long writev_some(const struct iovec* iov, int iovcnt,
+                   u64* syscalls = nullptr);
 
   /// Opts the socket into MSG_ZEROCOPY sends (SO_ZEROCOPY). False when
   /// the kernel or socket type does not support it; callers then simply
@@ -182,5 +208,11 @@ class TcpListener {
 /// Waits until `fd` is readable or `timeout` elapses. Returns true when
 /// readable. A negative timeout waits forever.
 bool wait_readable(int fd, Duration timeout);
+
+/// Raises RLIMIT_NOFILE's soft limit to the hard limit (a process hosting
+/// a thousand nodes needs fds for every link, and the default soft cap is
+/// often 1024). Returns the resulting soft limit, or 0 on failure. Safe
+/// to call repeatedly; only the first call does the work.
+u64 raise_nofile_limit();
 
 }  // namespace iov

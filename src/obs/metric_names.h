@@ -26,6 +26,12 @@ inline constexpr char kEngineLinkClosesTotal[] =
     "iov_engine_link_closes_total";
 inline constexpr char kEngineLinkFailuresTotal[] =
     "iov_engine_link_failures_total";
+inline constexpr char kEngineThreads[] = "iov_engine_threads";
+inline constexpr char kEngineOpenFds[] = "iov_engine_open_fds";
+
+// --- Shared epoll reactor (per-node registry; pool is process-shared) -----
+inline constexpr char kReactorLoopLagSeconds[] =
+    "iov_reactor_loop_lag_seconds";
 
 // --- Per-link data plane (labels: peer, dir=up|down) ----------------------
 inline constexpr char kLinkBytesTotal[] = "iov_link_bytes_total";
